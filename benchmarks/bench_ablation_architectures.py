@@ -1,0 +1,64 @@
+"""Ablation: Figure 2 across GPU generations (Section 6.4).
+
+The Kepler K20X (Titan) has a 9-cycle dependent-instruction latency vs
+6 for Maxwell/Pascal, so ILP matters most there; newer parts also bring
+more bandwidth, lifting the plateau.  The ablation sweeps the Figure-2
+kernel across the three modeled architectures.
+"""
+
+import pytest
+
+from repro.gpu import Autotuner, CoarseDslashKernel, DEVICES, K20X, M40, P100, Strategy
+
+
+@pytest.mark.parametrize("device", [K20X, M40, P100], ids=lambda d: d.name)
+def test_bench_fig2_per_architecture(benchmark, device, capsys):
+    def sweep():
+        tuner = Autotuner(device)
+        out = {}
+        for length in (10, 6, 2):
+            k = CoarseDslashKernel(volume=length**4, dof=64)
+            out[length] = {
+                s.value: tuner.tune_stencil(k, s).timing.gflops for s in Strategy
+            }
+        return out
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\n{device.name} (Nc=32):")
+        for length, row in table.items():
+            cells = " ".join(f"{v:8.1f}" for v in row.values())
+            print(f"  L={length:2d}: {cells}")
+    # invariants per architecture
+    assert table[10]["dot product"] > table[2]["dot product"]
+    assert table[2]["dot product"] > 10 * table[2]["baseline"]
+
+
+def test_newer_parts_lift_plateau(benchmark):
+    def plateaus():
+        out = {}
+        for device in (K20X, M40, P100):
+            tuner = Autotuner(device)
+            k = CoarseDslashKernel(volume=10**4, dof=64)
+            out[device.name] = tuner.tune_stencil(k, Strategy.DOT_PRODUCT).timing.gflops
+        return out
+
+    p = benchmark.pedantic(plateaus, rounds=1, iterations=1)
+    assert p["Tesla K20X"] < p["Tesla M40"] < p["Tesla P100"]
+
+
+def test_kepler_gains_most_from_ilp(benchmark):
+    """Section 6.4: ILP matters more on Kepler (9-cycle latency)."""
+    from repro.gpu import ThreadMapping, stencil_kernel_time
+
+    def gains():
+        k = CoarseDslashKernel(volume=16, dof=64)
+        out = {}
+        for device in (K20X, M40):
+            t1 = stencil_kernel_time(device, k, ThreadMapping(1, 16, 1, 1, ilp=1))
+            t4 = stencil_kernel_time(device, k, ThreadMapping(1, 16, 1, 1, ilp=4))
+            out[device.name] = t1.time_s / t4.time_s
+        return out
+
+    g = benchmark.pedantic(gains, rounds=1, iterations=1)
+    assert g["Tesla K20X"] >= g["Tesla M40"]

@@ -1,0 +1,63 @@
+"""Ablation: gauge compression 18 -> 12 -> 8 reals (Section 4, strategy (a)).
+
+Numerics: both reconstructions are exact to roundoff and cost extra
+compute.  Model: the traffic saving translates into Wilson-dslash
+throughput on the bandwidth-bound K20X.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gauge import (
+    compress8,
+    compress12,
+    random_su3,
+    reconstruct8,
+    reconstruct12,
+)
+from repro.gpu import K20X, ThreadMapping, WilsonCloverDslashKernel, stencil_kernel_time
+
+
+@pytest.fixture(scope="module")
+def links():
+    return random_su3(np.random.default_rng(0), 4096)
+
+
+@pytest.mark.parametrize(
+    "compress,reconstruct,tol",
+    [(compress12, reconstruct12, 1e-13), (compress8, reconstruct8, 1e-10)],
+    ids=["recon12", "recon8"],
+)
+def test_bench_reconstruction(benchmark, links, compress, reconstruct, tol):
+    stored = compress(links)
+    out = benchmark(reconstruct, stored)
+    assert np.abs(out - links).max() < tol
+    benchmark.extra_info["stored_reals_per_link"] = int(
+        np.prod(stored.shape[1:])
+    ) * (2 if np.iscomplexobj(stored) else 1)
+
+
+def test_bench_compression_cost(benchmark, links):
+    """The compression itself (done once per configuration load)."""
+    benchmark(compress8, links)
+
+
+def test_model_bandwidth_saving(benchmark, capsys):
+    """Modeled Wilson-Clover GFLOPS per reconstruction level."""
+
+    def sweep():
+        out = {}
+        for recon in (18, 12, 8):
+            k = WilsonCloverDslashKernel(
+                volume=24**4, precision_bytes=2.0, reconstruct=recon
+            )
+            t = stencil_kernel_time(K20X, k, ThreadMapping(block_x=128))
+            out[recon] = t.gflops
+        return out
+
+    gflops = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nAblation: Wilson-Clover GFLOPS vs gauge reconstruction (half prec):")
+        for recon, g in gflops.items():
+            print(f"  recon-{recon}: {g:7.1f} GFLOPS")
+    assert gflops[8] > gflops[12] > gflops[18]

@@ -1,0 +1,67 @@
+"""Ablation: stencil-direction splitting vs lattice size (Section 6.3).
+
+"On larger grids it was found to be detrimental to parallelize the
+stencil direction, and the optimal degree of splitting varies" — the
+autotuner must therefore choose the split per problem size.  This bench
+forces each split factor in turn and prints the grid of modeled GFLOPS,
+then checks the autotuner picks a non-trivial split only where it helps.
+"""
+
+import pytest
+
+from repro.gpu import (
+    Autotuner,
+    CoarseDslashKernel,
+    K20X,
+    Strategy,
+    ThreadMapping,
+    stencil_kernel_time,
+)
+
+
+def forced_split_gflops(length: int, nc: int, dir_split: int) -> float:
+    kernel = CoarseDslashKernel(volume=length**4, dof=2 * nc)
+    best = 0.0
+    for dof_split in (1, 2, 4, 8, 16, 2 * nc):
+        for bx in (1, 4, 16, 64, 256):
+            m = ThreadMapping(bx, dof_split, dir_split, 1, 1)
+            if m.block_threads() > K20X.max_threads_per_block:
+                continue
+            t = stencil_kernel_time(K20X, kernel, m)
+            best = max(best, t.gflops)
+    return best
+
+
+def test_direction_split_grid(benchmark, capsys):
+    def sweep():
+        table = {}
+        for length in (10, 6, 2):
+            table[length] = [forced_split_gflops(length, 24, d) for d in (1, 2, 4, 8)]
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Ablation: forced direction-split GFLOPS (Nc=24, K20X model)"]
+    lines.append(f"{'L':>3} {'split=1':>9} {'split=2':>9} {'split=4':>9} {'split=8':>9}")
+    for length, vals in table.items():
+        lines.append(f"{length:>3} " + " ".join(f"{v:>9.2f}" for v in vals))
+    with capsys.disabled():
+        print("\n" + "\n".join(lines))
+
+    # on the large grid splitting must not be required (within 2%);
+    # on the 2^4 grid an 8-way split must win clearly
+    assert table[10][0] >= 0.98 * max(table[10])
+    assert table[2][3] > 1.5 * table[2][0]
+
+
+def test_autotuner_split_choice_varies_with_size(benchmark):
+    def choices():
+        tuner = Autotuner(K20X)
+        out = {}
+        for length in (10, 2):
+            k = CoarseDslashKernel(volume=length**4, dof=48)
+            out[length] = tuner.tune_stencil(k, Strategy.STENCIL_DIRECTION).mapping
+        return out
+
+    picks = benchmark.pedantic(choices, rounds=1, iterations=1)
+    # small grid needs the direction split; large grid doesn't
+    assert picks[2].dir_split > 1

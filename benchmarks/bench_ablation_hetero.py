@@ -1,0 +1,81 @@
+"""Ablation: heterogeneous CPU/GPU coarse-grid placement (Sections 5, 9).
+
+The placement autotuner prices every level on both processors.  On the
+Titan-era hardware the fine-grained GPU mapping wins everywhere (the
+paper's conclusion); shrinking the modeled GPU's parallelism headroom
+or growing its latency shifts the coarsest level toward the CPU — the
+Section 9 prediction.
+"""
+
+import pytest
+
+from repro.gpu import DeviceSpec
+from repro.machine import (
+    ClusterSpec,
+    MachineModel,
+    MODERN_CPU,
+    OPTERON_6274,
+    TITAN,
+    choose_placement,
+    mg_level_specs,
+)
+from repro.workloads import ISO64
+
+
+@pytest.fixture(scope="module")
+def levels():
+    return mg_level_specs(ISO64.dims, ISO64.blockings[64], [24, 32])
+
+
+def test_titan_keeps_everything_on_gpu(benchmark, levels, capsys):
+    model = MachineModel()
+
+    def run():
+        return {n: choose_placement(model, levels, n) for n in ISO64.node_counts}
+
+    placements = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nAblation: per-level placement on Titan (paper regime):")
+        for n, ps in placements.items():
+            print(
+                f"  {n:4d} nodes: "
+                + ", ".join(f"L{p.level}={p.device}" for p in ps)
+            )
+    for ps in placements.values():
+        assert all(p.device == "gpu" for p in ps)
+
+
+def test_future_node_pushes_coarse_to_cpu(benchmark, levels, capsys):
+    """Section 9: on a future node — a wider, laggier GPU next to a
+    many-core host whose cache swallows the coarsest operator — the
+    smallest grids migrate to the latency processor."""
+    future_gpu = DeviceSpec(
+        name="hypothetical wide GPU",
+        sm_count=200,
+        cores_per_sm=128,
+        clock_ghz=1.5,
+        peak_bandwidth_gbs=3000.0,
+        stream_bandwidth_gbs=2200.0,
+        dep_latency=12,
+        mem_latency_cycles=1200,
+        kernel_launch_overhead_us=8.0,
+    )
+    cluster = ClusterSpec(
+        name="future node", device=future_gpu, network=TITAN.network
+    )
+    model = MachineModel(cluster)
+
+    def run():
+        return choose_placement(model, levels, 512, cpu=MODERN_CPU)
+
+    placement = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nfuture GPU at 512 nodes:")
+        for p in placement:
+            print(
+                f"  L{p.level}: {p.device} (gpu {1e6 * p.gpu_time_s:8.1f} us, "
+                f"cpu {1e6 * p.cpu_time_s:8.1f} us)"
+            )
+    assert placement[0].device == "gpu"
+    # on the starved coarsest grid the latency processor takes over
+    assert placement[-1].device == "cpu"

@@ -1,0 +1,78 @@
+"""Figure 2 regeneration: coarse-operator performance vs lattice size.
+
+Two complementary measurements:
+
+* the *model* series — the K20X kernel model with the four cumulative
+  parallelization strategies, printing the same 8 curves the paper
+  plots;
+* a *real* measurement of this library's vectorized coarse operator
+  across the same lattice sizes (NumPy on CPU; demonstrates the same
+  loss of throughput as the grid shrinks, which is the phenomenon the
+  paper's fine-grained mapping fixes on the GPU).
+"""
+
+import numpy as np
+import pytest
+
+from repro.coarse import CoarseOperator
+from repro.gpu import Autotuner, CoarseDslashKernel, K20X, Strategy
+from repro.lattice import NDIM, Lattice
+from repro.reporting import fig2
+
+
+def test_fig2_report(benchmark, capsys):
+    out = benchmark.pedantic(fig2.render, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + out)
+    assert "baseline (Nc=24)" in out
+
+
+def test_fig2_speedup_anchor(benchmark):
+    series = benchmark.pedantic(fig2.compute, rounds=1, iterations=1)
+    speedup = series["dot product (Nc=32)"][-1] / series["baseline (Nc=32)"][-1]
+    assert 50 < speedup < 250  # paper: ~100x
+
+
+def _random_coarse_op(length: int, nc: int, seed: int = 0) -> CoarseOperator:
+    lat = Lattice((length,) * NDIM)
+    n = 2 * nc
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((lat.volume, n, n)) + 1j * rng.standard_normal(
+        (lat.volume, n, n)
+    )
+    hops = rng.standard_normal((NDIM, 2, lat.volume, n, n)) + 1j * rng.standard_normal(
+        (NDIM, 2, lat.volume, n, n)
+    )
+    return CoarseOperator(lat, x, hops, ns=2, nc=nc)
+
+
+@pytest.mark.parametrize("length", [8, 6, 4, 2])
+def test_bench_real_coarse_apply(benchmark, length):
+    """Throughput of this library's coarse stencil at each Figure-2 size."""
+    nc = 24
+    op = _random_coarse_op(length, nc)
+    rng = np.random.default_rng(1)
+    v = rng.standard_normal((op.lattice.volume, 2, nc)) + 1j * rng.standard_normal(
+        (op.lattice.volume, 2, nc)
+    )
+    benchmark(op.apply, v)
+    n = op.site_dof
+    flops = op.lattice.volume * (9 * 8 * n * n + 16 * n)
+    benchmark.extra_info["gflops"] = round(flops / benchmark.stats["mean"] / 1e9, 3)
+    benchmark.extra_info["volume"] = op.lattice.volume
+
+
+def test_bench_model_autotune_sweep(benchmark):
+    """Cost of the full Figure-2 model sweep (80 tuned kernels)."""
+    def sweep():
+        tuner = Autotuner(K20X)  # fresh cache each round
+        out = []
+        for nc in (24, 32):
+            for length in (10, 8, 6, 4, 2):
+                k = CoarseDslashKernel(volume=length**4, dof=2 * nc)
+                for s in Strategy:
+                    out.append(tuner.tune_stencil(k, s).timing.gflops)
+        return out
+
+    vals = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert len(vals) == 40

@@ -1,0 +1,80 @@
+"""Setup cost and amortization (Section 7.1's excluded-setup justification).
+
+"We do not include the MG set-up time because in a throughput
+calculation this time is completely amortized by a very large number of
+solves."  Measures the real setup/solve ratio on a scaled dataset and
+prices the break-even point at Titan scale.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.dirac import WilsonCloverOperator
+from repro.machine import (
+    MachineModel,
+    bicgstab_time,
+    amortization_solves,
+    mg_level_specs,
+    mg_setup_time,
+    mg_time,
+)
+from repro.mg import MultigridSolver
+from repro.reporting.experiments import synthetic_level_profile
+from repro.workloads import ANISO40_SCALED, ISO64, mg_params_for
+
+from tests.conftest import random_spinor
+
+
+def test_bench_measured_setup_vs_solve(benchmark, capsys):
+    """Real setup-to-solve wallclock ratio on the scaled dataset."""
+    ds = ANISO40_SCALED
+    op = WilsonCloverOperator(ds.gauge(), **ds.operator_kwargs())
+    b = random_spinor(ds.lattice(), seed=55)
+
+    def run():
+        t0 = time.perf_counter()
+        mg = MultigridSolver(op, mg_params_for(ds, "24/24"), np.random.default_rng(1))
+        t_setup = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        res = mg.solve(b)
+        t_solve = time.perf_counter() - t0
+        assert res.converged
+        return t_setup, t_solve
+
+    t_setup, t_solve = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(
+            f"\nmeasured setup {t_setup:.1f}s vs solve {t_solve:.2f}s "
+            f"({t_setup / t_solve:.0f} solve-equivalents)"
+        )
+    assert t_setup > t_solve  # setup is heavy ...
+    assert t_setup < 1000 * t_solve  # ... but amortizable
+
+
+def test_titan_scale_breakeven(benchmark, capsys):
+    """Modeled break-even against BiCGStab at every Iso64 node count."""
+    model = MachineModel()
+    levels = mg_level_specs(ISO64.dims, ISO64.blockings[64], [24, 32])
+
+    def run():
+        out = {}
+        for nodes in ISO64.node_counts:
+            setup = mg_setup_time(model, levels, nodes, [24, 32], null_iters=100)
+            bt = bicgstab_time(model, levels[0], nodes, 2805)
+            mt = mg_time(model, levels, nodes, synthetic_level_profile(17), 17)
+            out[nodes] = (
+                setup.total_s,
+                amortization_solves(setup.total_s, bt.total_s, mt.total_s),
+            )
+        return out
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nIso64 modeled setup cost and break-even vs BiCGStab:")
+        for nodes, (setup_s, n) in table.items():
+            print(f"  {nodes:4d} nodes: setup {setup_s:7.1f}s -> breaks even after "
+                  f"{n:6.1f} solves")
+    # spectroscopy runs O(1e5)-O(1e6) solves: break-even must be far below
+    assert all(n < 1000 for _, n in table.values())

@@ -1,0 +1,43 @@
+"""Table 1 regeneration + gauge-ensemble generation throughput."""
+
+import numpy as np
+import pytest
+
+from repro.gauge import average_plaquette, disordered_field
+from repro.lattice import Lattice
+from repro.reporting import table1
+from repro.workloads import SCALED_FOR_PAPER
+
+
+def test_table1_report(benchmark, capsys):
+    out = benchmark.pedantic(table1.render, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + out)
+    for label in ("Aniso40", "Iso48", "Iso64"):
+        assert label in out
+
+
+@pytest.mark.parametrize("label", ["Aniso40", "Iso48", "Iso64"])
+def test_bench_gauge_generation(benchmark, label):
+    """Generation cost of a scaled synthetic ensemble."""
+    ds = SCALED_FOR_PAPER[label]
+    gauge = benchmark.pedantic(ds.gauge, rounds=1, iterations=1)
+    plaq = average_plaquette(gauge)
+    benchmark.extra_info["plaquette"] = round(plaq, 4)
+    benchmark.extra_info["dims"] = "x".join(map(str, ds.dims))
+    assert 0.0 < plaq < 1.0
+
+
+def test_bench_hot_vs_smeared_plaquette(benchmark):
+    """The disorder knob orders ensembles by roughness (conditioning)."""
+    lat = Lattice((4, 4, 4, 8))
+
+    def measure():
+        rng = np.random.default_rng(0)
+        return [
+            average_plaquette(disordered_field(lat, rng, d, smear_steps=1))
+            for d in (0.2, 0.45, 0.7)
+        ]
+
+    plaqs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert plaqs[0] > plaqs[1] > plaqs[2]

@@ -1,0 +1,35 @@
+"""Table 2 regeneration + multigrid setup cost."""
+
+import numpy as np
+import pytest
+
+from repro.dirac import WilsonCloverOperator
+from repro.mg import MultigridSolver
+from repro.reporting import table2
+from repro.workloads import ANISO40_SCALED, mg_params_for
+
+
+def test_table2_report(benchmark, capsys):
+    out = benchmark.pedantic(table2.render, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + out)
+    assert "5x5x2x8" in out and "2x2x2x4" in out
+
+
+def test_bench_mg_setup(benchmark):
+    """Cost of the adaptive setup (null vectors + Galerkin products).
+
+    The paper amortizes this over O(1e5)-O(1e6) solves per configuration
+    (Section 7.1); here we simply measure it once.
+    """
+    ds = ANISO40_SCALED
+    op = WilsonCloverOperator(ds.gauge(), **ds.operator_kwargs())
+    params = mg_params_for(ds, "24/24", null_iters=40)
+
+    def setup():
+        return MultigridSolver(op, params, np.random.default_rng(5))
+
+    mg = benchmark.pedantic(setup, rounds=1, iterations=1)
+    assert mg.hierarchy.n_levels == 3
+    benchmark.extra_info["levels"] = mg.hierarchy.n_levels
+    benchmark.extra_info["null_vectors"] = [lp.n_null for lp in params.levels]

@@ -1,0 +1,101 @@
+"""Quickstart: solve a Wilson-Clover system with adaptive multigrid.
+
+Builds a small near-critical lattice QCD problem from scratch —
+synthetic gauge field, Wilson-Clover Dirac operator, right-hand side —
+and solves it three ways, reproducing the paper's central comparison in
+miniature:
+
+* red-black preconditioned BiCGStab (the pre-multigrid state of the art),
+* CGNR on the normal equations (the classical fallback),
+* adaptive geometric multigrid (GCR outer, K-cycle preconditioner).
+
+Run:  python examples/quickstart.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.dirac import SchurOperator, WilsonCloverOperator
+from repro.fields import SpinorField
+from repro.gauge import average_plaquette, disordered_field
+from repro.lattice import Lattice
+from repro.mg import LevelParams, MGParams, MultigridSolver
+from repro.solvers import bicgstab, cgnr, norm
+
+
+def main() -> None:
+    rng = np.random.default_rng(2016)
+
+    # -- the problem -----------------------------------------------------
+    lattice = Lattice((4, 4, 4, 16))
+    gauge = disordered_field(lattice, rng, disorder=0.55, smear_steps=1)
+    print(f"lattice {lattice}, plaquette {average_plaquette(gauge):.4f}")
+
+    # mass near criticality: this is where BiCGStab suffers critical
+    # slowing down and multigrid shines (m_crit ~ -1.39 for this seed)
+    mass = -1.39 + 0.03
+    op = WilsonCloverOperator(gauge, mass=mass, c_sw=1.0)
+    b = SpinorField.random(lattice, rng=rng)
+    tol = 1e-8
+
+    # -- BiCGStab on the red-black (Schur) system ------------------------
+    schur = SchurOperator(op, parity=0)
+    t0 = time.perf_counter()
+    res_bi = bicgstab(schur, schur.prepare_source(b.data), tol=tol, maxiter=100000)
+    t_bi = time.perf_counter() - t0
+    x_bi = schur.reconstruct(res_bi.x, b.data)
+    print(
+        f"BiCGStab (red-black): {res_bi.iterations:5d} iterations, "
+        f"{t_bi:6.2f}s, true resid "
+        f"{norm(b.data - op.apply(x_bi)) / b.norm():.2e}"
+    )
+
+    # -- CGNR --------------------------------------------------------------
+    t0 = time.perf_counter()
+    res_cg = cgnr(op, b.data, tol=tol, maxiter=100000)
+    print(
+        f"CGNR                : {res_cg.iterations:5d} iterations, "
+        f"{time.perf_counter() - t0:6.2f}s"
+    )
+
+    # -- adaptive multigrid -------------------------------------------------
+    params = MGParams(
+        levels=[LevelParams(block=(2, 2, 2, 4), n_null=8, null_iters=60)],
+        outer_tol=tol,
+    )
+    t0 = time.perf_counter()
+    mg = MultigridSolver(op, params, rng)
+    t_setup = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    res_mg = mg.solve(b.data)
+    t_mg = time.perf_counter() - t0
+    print(
+        f"Multigrid (K-cycle) : {res_mg.iterations:5d} iterations, "
+        f"{t_mg:6.2f}s solve (+{t_setup:.2f}s setup), true resid "
+        f"{norm(b.data - op.apply(res_mg.x)) / b.norm():.2e}"
+    )
+    print(
+        f"\niteration reduction vs BiCGStab: "
+        f"{res_bi.iterations / res_mg.iterations:.1f}x"
+    )
+    print("per-level work:", res_mg.extra["level_stats"])
+
+    # the paper's robustness observation: stable MG vs chaotic BiCGStab
+    from repro.reporting.convergence import render_history, smoothness
+
+    print()
+    print(
+        render_history(
+            {"MG": res_mg.residual_history, "BiCGStab": res_bi.residual_history},
+            title="relative residual vs solve progress",
+        )
+    )
+    print(
+        f"non-monotone steps: MG {100 * smoothness(res_mg.residual_history):.0f}%  "
+        f"BiCGStab {100 * smoothness(res_bi.residual_history):.0f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

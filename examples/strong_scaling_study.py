@@ -1,0 +1,73 @@
+"""Strong-scaling study at Titan scale (paper Section 7, Figures 3-4).
+
+Prices the paper's solver configurations on the modeled Titan machine
+across node counts, prints the wallclock curves and the per-level time
+breakdown, and then asks a what-if question the paper raises in its
+future-work section: how does the picture change on a later GPU (P100)
+and with a lower-latency network?
+
+Run:  python examples/strong_scaling_study.py
+"""
+
+from repro.gpu import P100
+from repro.machine import (
+    ClusterSpec,
+    MachineModel,
+    NetworkSpec,
+    TITAN,
+    bicgstab_time,
+    mg_level_specs,
+    mg_time,
+    node_power_watts,
+)
+from repro.reporting.experiments import synthetic_level_profile
+from repro.workloads import ISO64, table3_rows
+
+
+def scaling_table(model: MachineModel, label: str) -> None:
+    levels = mg_level_specs(ISO64.dims, ISO64.blockings[64], [24, 32])
+    print(f"\n=== {label}: Iso64 (64^3 x 128), strategy 24/32 ===")
+    print(f"{'nodes':>6} {'BiCGStab(s)':>12} {'MG(s)':>8} {'speedup':>8} "
+          f"{'lvl1':>6} {'lvl2':>6} {'lvl3':>6} {'coarse%':>8} {'P(W) MG':>8}")
+    for nodes in ISO64.node_counts:
+        bi_iters = [r for r in table3_rows("Iso64", nodes) if r.solver == "BiCGStab"][0].iterations
+        mg_iters = [r for r in table3_rows("Iso64", nodes) if r.solver == "24/32"][0].iterations
+        bt = bicgstab_time(model, levels[0], nodes, bi_iters)
+        mt = mg_time(model, levels, nodes, synthetic_level_profile(mg_iters), mg_iters)
+        lv = mt.level_seconds
+        print(
+            f"{nodes:>6} {bt.total_s:>12.2f} {mt.total_s:>8.2f} "
+            f"{bt.total_s / mt.total_s:>8.1f} "
+            f"{lv[0]:>6.2f} {lv[1]:>6.2f} {lv[2]:>6.2f} "
+            f"{100 * lv[2] / mt.total_s:>7.1f}% "
+            f"{node_power_watts(model.cluster, mt):>8.0f}"
+        )
+
+
+def main() -> None:
+    # Titan as the paper measured it
+    scaling_table(MachineModel(TITAN), "Titan (K20X + Gemini)")
+
+    # what-if: Pascal-generation GPUs on the same network.  The fine
+    # grid speeds up ~3x but the coarse grids become even more
+    # latency-dominated — exactly the trend Section 9 anticipates.
+    pascal_titan = ClusterSpec(
+        name="Titan-P100 (hypothetical)", device=P100, network=TITAN.network
+    )
+    scaling_table(MachineModel(pascal_titan), "hypothetical P100 + Gemini")
+
+    # what-if: a 4x lower-latency allreduce (modern fat-tree): the
+    # coarse-grid synchronization wall recedes
+    fast_net = NetworkSpec(
+        name="low-latency fabric",
+        latency_us=0.8,
+        bandwidth_gbs=12.0,
+        allreduce_alpha_us=1.0,
+        allreduce_beta_us=2.0,
+    )
+    fast_titan = ClusterSpec(name="K20X + fast fabric", device=TITAN.device, network=fast_net)
+    scaling_table(MachineModel(fast_titan), "K20X + low-latency fabric")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Analysis-phase observables: propagators and hadron correlators."""
+
+from .correlators import (
+    effective_mass,
+    fold_correlator,
+    meson_correlator,
+    pion_correlator,
+    point_propagator,
+)
+
+__all__ = [
+    "effective_mass",
+    "fold_correlator",
+    "meson_correlator",
+    "pion_correlator",
+    "point_propagator",
+]

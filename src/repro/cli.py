@@ -1,0 +1,75 @@
+"""Command-line entry point: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro.cli table1
+    python -m repro.cli table2
+    python -m repro.cli fig2
+    python -m repro.cli table3 [--mode replay|measured] [--rhs N]
+    python -m repro.cli fig3   [--mode replay|measured]
+    python -m repro.cli fig4   [--mode replay|measured]
+    python -m repro.cli all    [--mode replay]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of Clark et al. (SC 2016)",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=["table1", "table2", "table3", "fig2", "fig3", "fig4", "all"],
+    )
+    parser.add_argument(
+        "--mode",
+        choices=["replay", "measured"],
+        default="replay",
+        help="replay: paper iteration counts through the machine model (fast); "
+        "measured: run real solves on the scaled datasets first (minutes)",
+    )
+    parser.add_argument(
+        "--rhs", type=int, default=2, help="right-hand sides per measured solver"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="also write each artifact to DIR/<artifact>.txt",
+    )
+    args = parser.parse_args(argv)
+
+    from .reporting import fig2, fig3, fig4, table1, table2, table3
+
+    outputs: list[tuple[str, str]] = []
+    if args.artifact in ("table1", "all"):
+        outputs.append(("table1", table1.render()))
+    if args.artifact in ("table2", "all"):
+        outputs.append(("table2", table2.render()))
+    if args.artifact in ("fig2", "all"):
+        outputs.append(("fig2", fig2.render()))
+    if args.artifact in ("table3", "all"):
+        outputs.append(
+            ("table3", table3.main(mode=args.mode, n_rhs=args.rhs, verbose=False))
+        )
+    if args.artifact in ("fig3", "all"):
+        outputs.append(("fig3", fig3.main(mode=args.mode, n_rhs=args.rhs)))
+    if args.artifact in ("fig4", "all"):
+        outputs.append(("fig4", fig4.render(mode=args.mode, n_rhs=args.rhs)))
+    print("\n\n".join(text for _, text in outputs))
+    if args.out is not None:
+        import pathlib
+
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name, text in outputs:
+            (out_dir / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Coarse-grid operator (Eq 3) and its Galerkin construction."""
+
+from .coarse_op import CoarseOperator
+from .galerkin import coarsen_operator
+
+__all__ = ["CoarseOperator", "coarsen_operator"]

@@ -1,0 +1,69 @@
+"""Galerkin construction of the coarse operator, ``M_hat = P^dag M P``.
+
+The fine operator is decomposed into its site-local term and eight hop
+terms.  A hop leaving an aggregate contributes to the corresponding
+coarse link ``Y``; a hop staying inside an aggregate and the site-local
+term contribute to the coarse diagonal ``X`` (paper Section 3.4).
+
+The construction applies each fine hop term to the prolongation of
+every coarse unit dof — ``2 * Nc_hat`` full-lattice applications per
+direction — and restricts the result, split by whether the hop crossed
+an aggregate boundary.  This is exact (tested against ``R M P`` on
+dense matrices) and fully vectorized over the lattice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dirac.stencil import StencilOperator
+from ..lattice import NDIM
+from ..transfer import Transfer
+from .coarse_op import CoarseOperator
+
+
+def coarsen_operator(op: StencilOperator, transfer: Transfer) -> CoarseOperator:
+    """Compute the Galerkin coarse operator of ``op`` through ``transfer``."""
+    if transfer.fine_lattice != op.lattice:
+        raise ValueError("transfer fine lattice does not match operator lattice")
+    if transfer.fine_ns != op.ns or transfer.fine_nc != op.nc:
+        raise ValueError("transfer dof does not match operator dof")
+
+    blocking = transfer.blocking
+    coarse = transfer.coarse_lattice
+    ns_c, nc_c = transfer.coarse_ns, transfer.coarse_nc
+    n = ns_c * nc_c
+    vc = coarse.volume
+
+    x_blocks = np.zeros((vc, n, n), dtype=np.complex128)
+    hop_blocks = np.zeros((NDIM, 2, vc, n, n), dtype=np.complex128)
+
+    cross_fwd = [blocking.crosses_block_fwd(mu) for mu in range(NDIM)]
+    cross_bwd = [blocking.crosses_block_bwd(mu) for mu in range(NDIM)]
+
+    unit = np.zeros((vc, ns_c, nc_c), dtype=np.complex128)
+    for s_hat in range(ns_c):
+        for c_hat in range(nc_c):
+            j = s_hat * nc_c + c_hat
+            unit[:, s_hat, c_hat] = 1.0
+            basis_fine = transfer.prolong(unit)
+            unit[:, s_hat, c_hat] = 0.0
+
+            # site-local term -> coarse diagonal
+            x_blocks[:, :, j] += transfer.restrict(op.apply_diag(basis_fine)).reshape(
+                vc, n
+            )
+
+            for mu in range(NDIM):
+                for d, (sign, cross) in enumerate(
+                    ((+1, cross_fwd[mu]), (-1, cross_bwd[mu]))
+                ):
+                    hop = op.apply_hop(mu, sign, basis_fine)
+                    crossing = hop * cross[:, None, None]
+                    internal = hop - crossing
+                    hop_blocks[mu, d, :, :, j] += transfer.restrict(crossing).reshape(
+                        vc, n
+                    )
+                    x_blocks[:, :, j] += transfer.restrict(internal).reshape(vc, n)
+
+    return CoarseOperator(coarse, x_blocks, hop_blocks, ns_c, nc_c)

@@ -1,0 +1,17 @@
+"""Simulated-MPI domain decomposition: communicator, halo exchange, traffic."""
+
+from .communicator import SimulatedComm
+from .distributed import DistributedField, DistributedOperator, distributed_bicgstab
+from .halo import HaloExchange
+from .partitioned import PartitionedOperator
+from .traffic import TrafficLog
+
+__all__ = [
+    "SimulatedComm",
+    "HaloExchange",
+    "PartitionedOperator",
+    "TrafficLog",
+    "DistributedField",
+    "DistributedOperator",
+    "distributed_bicgstab",
+]

@@ -1,0 +1,72 @@
+"""An in-process communicator with MPI point-to-point semantics.
+
+All "ranks" live in one address space; sends deposit buffers into
+per-rank mailboxes and receives pop them, so the data flow (and any
+bug in it) is identical to a real message-passing program, while every
+transfer is metered in the :class:`~repro.comm.traffic.TrafficLog`.
+Buffer-based transfers mirror the mpi4py fast path (contiguous NumPy
+buffers, no pickling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .traffic import TrafficLog
+
+
+class SimulatedComm:
+    """A fixed-size communicator; message order per (src, dst, tag) is FIFO."""
+
+    def __init__(self, num_ranks: int):
+        if num_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.num_ranks = num_ranks
+        self.traffic = TrafficLog()
+        self._mailboxes: dict[tuple[int, int, str], list[np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, buf: np.ndarray, tag: str = "") -> None:
+        """Non-blocking send: deposit a copy of ``buf`` for ``dst``."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        buf = np.ascontiguousarray(buf)
+        self.traffic.record_message(src, dst, buf.nbytes, tag)
+        self._mailboxes.setdefault((src, dst, tag), []).append(buf.copy())
+
+    def recv(self, src: int, dst: int, tag: str = "") -> np.ndarray:
+        """Blocking receive of the oldest matching message."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        queue = self._mailboxes.get((src, dst, tag))
+        if not queue:
+            raise RuntimeError(
+                f"recv deadlock: no message from rank {src} to {dst} (tag {tag!r})"
+            )
+        return queue.pop(0)
+
+    def sendrecv(
+        self, src: int, dst: int, buf: np.ndarray, tag: str = ""
+    ) -> np.ndarray:
+        """Exchange pattern used by halo exchange: send then receive."""
+        self.send(src, dst, buf, tag)
+        return self.recv(src, dst, tag)
+
+    # ------------------------------------------------------------------
+    def allreduce_sum(self, values: np.ndarray) -> np.ndarray:
+        """Sum per-rank scalars/vectors; counts one global reduction.
+
+        ``values`` has the per-rank contribution on axis 0.
+        """
+        if values.shape[0] != self.num_ranks:
+            raise ValueError("allreduce expects one contribution per rank")
+        self.traffic.record_allreduce()
+        return values.sum(axis=0)
+
+    # ------------------------------------------------------------------
+    def pending_messages(self) -> int:
+        return sum(len(q) for q in self._mailboxes.values())
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.num_ranks})")

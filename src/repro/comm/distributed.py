@@ -1,0 +1,151 @@
+"""Fully distributed solver execution over the simulated communicator.
+
+:class:`~repro.comm.partitioned.PartitionedOperator` checks that one
+*operator application* decomposes; this module goes the rest of the way
+and runs a whole Krylov solve the way the MPI program does it: fields
+live as per-rank locals, stencils pull halos through the communicator,
+and every inner product is computed from per-rank partial sums combined
+with an ``allreduce`` — so the traffic log records exactly the
+synchronization pattern the machine model prices (reductions per
+iteration, halo bytes per matvec).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dirac.stencil import StencilOperator
+from ..lattice import NDIM, Partition
+from ..solvers.base import SolveResult
+from .communicator import SimulatedComm
+from .halo import HaloExchange
+
+
+class DistributedField:
+    """Per-rank local fields, shape ``(R, V_local, ns, nc)``."""
+
+    def __init__(self, partition: Partition, locals_: np.ndarray):
+        self.partition = partition
+        self.locals = locals_
+
+    @classmethod
+    def from_global(cls, partition: Partition, v: np.ndarray) -> "DistributedField":
+        return cls(partition, np.ascontiguousarray(v[partition.owned_sites]))
+
+    def to_global(self) -> np.ndarray:
+        shape = (self.partition.global_lattice.volume,) + self.locals.shape[2:]
+        out = np.empty(shape, dtype=self.locals.dtype)
+        out[self.partition.owned_sites] = self.locals
+        return out
+
+    def copy(self) -> "DistributedField":
+        return DistributedField(self.partition, self.locals.copy())
+
+
+class DistributedOperator:
+    """A stencil operator evaluated rank by rank with halo exchange.
+
+    Unlike :class:`PartitionedOperator` (which reassembles a global
+    gather), every rank here computes only its local output block; the
+    per-site matrices are still indexed globally through the owner map,
+    which is how a rank would hold its local slice of the operator.
+    """
+
+    def __init__(self, op: StencilOperator, partition: Partition, comm=None):
+        if partition.global_lattice != op.lattice:
+            raise ValueError("partition does not match the operator's lattice")
+        self.op = op
+        self.partition = partition
+        self.halo = HaloExchange(partition, comm)
+        self.comm: SimulatedComm = self.halo.comm
+
+    def apply(self, v: DistributedField) -> DistributedField:
+        part = self.partition
+        owned = part.owned_sites
+        # site-local term: no communication, computed per rank
+        diag_global = np.empty(
+            (part.global_lattice.volume,) + v.locals.shape[2:], dtype=v.locals.dtype
+        )
+        for r in range(part.num_ranks):
+            lifted = np.zeros_like(diag_global)
+            lifted[owned[r]] = v.locals[r]
+            diag_global[owned[r]] = self.op.apply_diag(lifted)[owned[r]]
+        out = diag_global[owned].copy()
+        # hop terms: neighbours through the halo exchange
+        for mu in range(NDIM):
+            for sign in (+1, -1):
+                gathered = self.halo.gather_neighbors(v.locals, mu, sign)
+                nbr_global = np.empty_like(diag_global)
+                nbr_global[owned] = gathered
+                hop = self.op.apply_hop_gathered(mu, sign, nbr_global)
+                out += hop[owned]
+        return DistributedField(part, out)
+
+    # -- collective linear algebra ---------------------------------------
+    def dot(self, a: DistributedField, b: DistributedField) -> complex:
+        """Global inner product via per-rank partials + allreduce."""
+        partials = np.array(
+            [
+                np.vdot(a.locals[r].ravel(), b.locals[r].ravel())
+                for r in range(self.partition.num_ranks)
+            ]
+        )[:, None]
+        return complex(self.comm.allreduce_sum(partials)[0])
+
+    def norm(self, a: DistributedField) -> float:
+        return float(np.sqrt(self.dot(a, a).real))
+
+
+def distributed_bicgstab(
+    dop: DistributedOperator,
+    b: DistributedField,
+    tol: float = 1e-8,
+    maxiter: int = 10000,
+) -> SolveResult:
+    """BiCGStab with every global reduction routed through the communicator.
+
+    Mirrors :func:`repro.solvers.bicgstab` step for step, so the iterate
+    sequence is identical to the single-domain solver (verified by the
+    tests) while the traffic log records the true collective count.
+    """
+    part = dop.partition
+    x = DistributedField(part, np.zeros_like(b.locals))
+    r = b.copy()
+    bnorm = dop.norm(b)
+    if bnorm == 0.0:
+        return SolveResult(x.to_global(), True, 0, 0.0, [0.0], 0)
+    target = tol * bnorm
+    r0 = r.copy()
+    rho_old = alpha = omega = 1.0 + 0j
+    v = DistributedField(part, np.zeros_like(b.locals))
+    p = DistributedField(part, np.zeros_like(b.locals))
+    history = [dop.norm(r) / bnorm]
+    matvecs = 0
+
+    for k in range(1, maxiter + 1):
+        rho = dop.dot(r0, r)
+        beta = (rho / rho_old) * (alpha / omega)
+        p = DistributedField(part, r.locals + beta * (p.locals - omega * v.locals))
+        v = dop.apply(p)
+        matvecs += 1
+        alpha = rho / dop.dot(r0, v)
+        s = DistributedField(part, r.locals - alpha * v.locals)
+        snorm = dop.norm(s)
+        if snorm < target:
+            x = DistributedField(part, x.locals + alpha * p.locals)
+            history.append(snorm / bnorm)
+            return SolveResult(x.to_global(), True, k, history[-1], history, matvecs)
+        t = dop.apply(s)
+        matvecs += 1
+        tt = dop.dot(t, t).real
+        omega = dop.dot(t, s) / tt
+        x = DistributedField(
+            part, x.locals + alpha * p.locals + omega * s.locals
+        )
+        r = DistributedField(part, s.locals - omega * t.locals)
+        rho_old = rho
+        rnorm = dop.norm(r)
+        history.append(rnorm / bnorm)
+        if rnorm < target:
+            return SolveResult(x.to_global(), True, k, history[-1], history, matvecs)
+    return SolveResult(x.to_global(), False, maxiter, history[-1], history, matvecs)

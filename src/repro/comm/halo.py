@@ -1,0 +1,74 @@
+"""Halo packing and exchange for domain-decomposed stencils.
+
+Mirrors QUDA's multi-GPU scheme (paper Section 6.5): for each
+partitioned direction a packing kernel gathers the face sites into a
+contiguous buffer (fine-grained over site, color and spin), the buffers
+are exchanged between neighbouring ranks, and the receiver scatters
+them into its ghost region — here, directly into the gathered-neighbour
+array consumed by ``apply_hop_gathered``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lattice import NDIM, Partition
+from .communicator import SimulatedComm
+
+
+class HaloExchange:
+    """Halo exchange machinery bound to a partition and a communicator."""
+
+    def __init__(self, partition: Partition, comm: SimulatedComm | None = None):
+        if comm is not None and comm.num_ranks != partition.num_ranks:
+            raise ValueError("communicator size does not match partition")
+        self.partition = partition
+        self.comm = comm if comm is not None else SimulatedComm(partition.num_ranks)
+        local = partition.local_lattice
+        self._local_fwd = local.fwd
+        self._local_bwd = local.bwd
+        # face-site index lists per (mu, side)
+        self._faces = {
+            (mu, side): partition.face_sites(mu, side)
+            for mu in range(NDIM)
+            for side in (+1, -1)
+        }
+
+    # ------------------------------------------------------------------
+    def pack_face(self, local_field: np.ndarray, mu: int, side: int) -> np.ndarray:
+        """The packing kernel: gather a face into a contiguous send buffer."""
+        return np.ascontiguousarray(local_field[self._faces[(mu, side)]])
+
+    def gather_neighbors(
+        self, locals_: np.ndarray, mu: int, sign: int, tag: str = ""
+    ) -> np.ndarray:
+        """Per-rank gathered-neighbour fields for direction ``(mu, sign)``.
+
+        ``locals_`` has shape ``(R, V_local, ...)``; the result ``out``
+        satisfies ``out[r][x] = v(x + sign*mu_hat)`` globally, with
+        cross-rank values sourced exclusively through the communicator.
+        """
+        part = self.partition
+        table = self._local_fwd[mu] if sign > 0 else self._local_bwd[mu]
+        out = locals_[:, table].copy()
+        if not part.is_partitioned(mu):
+            # periodic wrap within the rank is already the global wrap
+            return out
+        recv_face = self._faces[(mu, +1 if sign > 0 else -1)]
+        send_face = self._faces[(mu, -1 if sign > 0 else +1)]
+        full_tag = tag or f"halo_mu{mu}_s{sign:+d}"
+        # every rank packs the face its backward (w.r.t. sign) neighbour
+        # needs, then receives its own ghost face
+        for r in range(part.num_ranks):
+            src = part.neighbor_rank(r, mu, +1 if sign > 0 else -1)
+            buf = self.pack_face(locals_[src], mu, -1 if sign > 0 else +1)
+            self.comm.send(src, r, buf, full_tag)
+        for r in range(part.num_ranks):
+            src = part.neighbor_rank(r, mu, +1 if sign > 0 else -1)
+            out[r][recv_face] = self.comm.recv(src, r, full_tag)
+        return out
+
+    # ------------------------------------------------------------------
+    def face_bytes(self, mu: int, dof: int, itemsize: int = 16) -> int:
+        """Bytes per face message for a field with ``dof`` complex dof/site."""
+        return self.partition.face_volume[mu] * dof * itemsize

@@ -1,0 +1,71 @@
+"""Domain-decomposed application of a stencil operator.
+
+``PartitionedOperator`` reproduces ``op.apply`` exactly while sourcing
+every cross-subdomain neighbour value through the simulated MPI halo
+exchange — the same decomposition QUDA runs across GPUs.  The test
+suite asserts bit-level agreement with the single-domain operator, and
+the traffic log feeds the strong-scaling machine model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lattice import NDIM, Partition
+from .communicator import SimulatedComm
+from .halo import HaloExchange
+
+
+class PartitionedOperator:
+    """Apply a stencil operator over a process grid with halo exchange."""
+
+    def __init__(self, op, partition: Partition, comm: SimulatedComm | None = None):
+        if partition.global_lattice != op.lattice:
+            raise ValueError("partition does not match the operator's lattice")
+        self.op = op
+        self.partition = partition
+        self.halo = HaloExchange(partition, comm)
+        self.comm = self.halo.comm
+        self.ns = op.ns
+        self.nc = op.nc
+        self.lattice = op.lattice
+
+    # ------------------------------------------------------------------
+    def split(self, v: np.ndarray) -> np.ndarray:
+        """Global field -> per-rank local fields, shape (R, V_local, ns, nc)."""
+        return v[self.partition.owned_sites]
+
+    def join(self, locals_: np.ndarray) -> np.ndarray:
+        """Per-rank local fields -> global field."""
+        out = np.empty(
+            (self.lattice.volume, self.ns, self.nc), dtype=locals_.dtype
+        )
+        out[self.partition.owned_sites] = locals_
+        return out
+
+    # ------------------------------------------------------------------
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        """``M v`` with all cross-rank data flowing through halo exchange."""
+        locals_ = self.split(v)
+        out = self.op.apply_diag(v)  # site-local: no communication
+        for mu in range(NDIM):
+            for sign in (+1, -1):
+                gathered_locals = self.halo.gather_neighbors(locals_, mu, sign)
+                gathered = self.join(gathered_locals)
+                out += self.op.apply_hop_gathered(mu, sign, gathered)
+        return out
+
+    matvec = apply
+
+    # ------------------------------------------------------------------
+    def exchange_bytes_per_apply(self, itemsize: int = 16) -> int:
+        """Analytic bytes sent per full application (both orientations)."""
+        total = 0
+        for mu in range(NDIM):
+            if self.partition.is_partitioned(mu):
+                total += (
+                    2
+                    * self.partition.num_ranks
+                    * self.halo.face_bytes(mu, self.ns * self.nc, itemsize)
+                )
+        return total

@@ -1,0 +1,53 @@
+"""Communication traffic accounting.
+
+The simulated communicator records every message and every global
+reduction.  The machine model (Section 7 reproduction) prices these
+records with the Titan/Gemini network parameters.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrafficLog:
+    """Counts of point-to-point messages and collective operations."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    local_copies: int = 0  # non-partitioned-direction "exchanges"
+    local_bytes: int = 0
+    allreduces: int = 0
+    per_direction: dict = field(default_factory=lambda: defaultdict(int))
+
+    def record_message(self, src: int, dst: int, nbytes: int, tag: str = "") -> None:
+        if src == dst:
+            self.local_copies += 1
+            self.local_bytes += nbytes
+        else:
+            self.messages += 1
+            self.bytes_sent += nbytes
+        if tag:
+            self.per_direction[tag] += nbytes
+
+    def record_allreduce(self) -> None:
+        self.allreduces += 1
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes_sent = 0
+        self.local_copies = 0
+        self.local_bytes = 0
+        self.allreduces = 0
+        self.per_direction.clear()
+
+    def summary(self) -> dict:
+        return {
+            "messages": self.messages,
+            "bytes_sent": self.bytes_sent,
+            "local_copies": self.local_copies,
+            "local_bytes": self.local_bytes,
+            "allreduces": self.allreduces,
+        }

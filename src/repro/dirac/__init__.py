@@ -1,0 +1,27 @@
+"""The lattice Dirac operator: gammas, Wilson-Clover, red-black, adjoints."""
+
+from .clover import CloverTerm
+from .even_odd import SchurOperator
+from .gamma import NS, chirality_slices, gamma5, gamma_matrices, projectors, sigma_munu
+from .normal import AdjointOperator, NormalOperator
+from .projection import project, projected_hop, reconstruct
+from .stencil import StencilOperator
+from .wilson import WilsonCloverOperator
+
+__all__ = [
+    "CloverTerm",
+    "SchurOperator",
+    "NS",
+    "chirality_slices",
+    "gamma5",
+    "gamma_matrices",
+    "projectors",
+    "sigma_munu",
+    "AdjointOperator",
+    "project",
+    "projected_hop",
+    "reconstruct",
+    "NormalOperator",
+    "StencilOperator",
+    "WilsonCloverOperator",
+]

@@ -1,0 +1,99 @@
+"""Euclidean gamma matrices in the DeGrand-Rossi (chiral) basis.
+
+In this basis gamma5 is diagonal, ``diag(+1, +1, -1, -1)``, so the
+upper two and lower two spin components are the two chiralities.  The
+chirality-preserving aggregation of the multigrid transfer operators
+(paper Section 3.4, footnote 1) aggregates these blocks separately.
+"""
+
+from __future__ import annotations
+
+from functools import cache
+
+import numpy as np
+
+from ..lattice import NDIM
+
+NS = 4  # fine-grid spin components
+CHIRAL_BLOCK = NS // 2
+
+
+@cache
+def gamma_matrices() -> np.ndarray:
+    """The four Euclidean gammas, shape (4, 4, 4); hermitian, {g_mu,g_nu}=2delta."""
+    i = 1j
+    g = np.array(
+        [
+            [[0, 0, 0, i], [0, 0, i, 0], [0, -i, 0, 0], [-i, 0, 0, 0]],
+            [[0, 0, 0, -1], [0, 0, 1, 0], [0, 1, 0, 0], [-1, 0, 0, 0]],
+            [[0, 0, i, 0], [0, 0, 0, -i], [-i, 0, 0, 0], [0, i, 0, 0]],
+            [[0, 0, 1, 0], [0, 0, 0, 1], [1, 0, 0, 0], [0, 1, 0, 0]],
+        ],
+        dtype=np.complex128,
+    )
+    g.setflags(write=False)
+    return g
+
+
+@cache
+def gamma5() -> np.ndarray:
+    """gamma5 = g1 g2 g3 g4 = diag(1, 1, -1, -1)."""
+    g = gamma_matrices()
+    g5 = g[0] @ g[1] @ g[2] @ g[3]
+    g5 = np.round(g5.real).astype(np.complex128)
+    g5.setflags(write=False)
+    return g5
+
+
+@cache
+def projectors() -> tuple[np.ndarray, np.ndarray]:
+    """Spin projection factors ``P^{-mu} = 1 - g_mu`` and ``P^{+mu} = 1 + g_mu``.
+
+    Returns (minus, plus), each of shape (4, 4, 4).  The forward hop of
+    the Wilson matrix (paper Eq 2) carries ``P^{-mu}``, the backward hop
+    ``P^{+mu}``.  As is conventional in the lattice literature these are
+    twice the true projectors — ``(1 ∓ g_mu)/2`` — with the factor of two
+    absorbed so that the zero-momentum free operator has eigenvalue
+    ``m`` with the standard ``(4 + m)`` diagonal.  Each has rank 2,
+    which is the basis of the spin-projection memory-traffic trick.
+    """
+    g = gamma_matrices()
+    eye = np.eye(NS, dtype=np.complex128)
+    minus = eye[None] - g
+    plus = eye[None] + g
+    minus.setflags(write=False)
+    plus.setflags(write=False)
+    return minus, plus
+
+
+@cache
+def sigma_munu() -> np.ndarray:
+    """``sigma_{mu nu} = (i/2) [g_mu, g_nu]``, shape (4, 4, 4, 4); hermitian.
+
+    Block-diagonal in chirality (commutes with gamma5), which is why the
+    clover term splits into two 6x6 hermitian blocks per site.
+    """
+    g = gamma_matrices()
+    sig = np.zeros((NDIM, NDIM, NS, NS), dtype=np.complex128)
+    for mu in range(NDIM):
+        for nu in range(NDIM):
+            sig[mu, nu] = 0.5j * (g[mu] @ g[nu] - g[nu] @ g[mu])
+    sig.setflags(write=False)
+    return sig
+
+
+def chirality_slices() -> tuple[slice, slice]:
+    """Spin-index slices of the (+, -) chirality blocks on the fine grid."""
+    return chirality_slices_for(NS)
+
+
+def chirality_slices_for(ns: int) -> tuple[slice, slice]:
+    """Spin-index slices of the (+, -) chirality blocks for ``ns`` spins.
+
+    Fine grid: spins (0, 1) vs (2, 3); coarse grids (``ns = 2``): spin 0
+    vs spin 1, matching the coarse gamma5 = diag(+1, -1).
+    """
+    if ns % 2:
+        raise ValueError(f"ns must be even, got {ns}")
+    half = ns // 2
+    return slice(0, half), slice(half, ns)

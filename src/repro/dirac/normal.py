@@ -1,0 +1,56 @@
+"""Normal operators for CGNE / CGNR.
+
+The Wilson-Clover matrix is non-hermitian, so Conjugate Gradients must
+run on the normal equations (paper Section 3.3): CGNR solves
+``M^dag M x = M^dag b``; CGNE solves ``M M^dag y = b`` with
+``x = M^dag y``.  The adjoint is obtained through gamma5-hermiticity,
+``M^dag = g5 M g5``, which every operator in this package satisfies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _g5_factor(op, v: np.ndarray) -> np.ndarray:
+    """gamma5 broadcast against ``v``'s spin axis (axis -2), shape-agnostic."""
+    g5 = op.gamma5_diag()
+    if v.ndim < 2:
+        # spinless (e.g. dense test operators): gamma5 is trivial
+        return np.ones(1)
+    shape = [1] * v.ndim
+    shape[-2] = len(g5)
+    return g5.reshape(shape)
+
+
+class AdjointOperator:
+    """``M^dag = g5 M g5`` of a gamma5-hermitian operator."""
+
+    def __init__(self, op):
+        self.op = op
+        self.ns = op.ns
+        self.nc = op.nc
+
+    def gamma5_diag(self) -> np.ndarray:
+        return self.op.gamma5_diag()
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        g5 = _g5_factor(self.op, v)
+        return g5 * self.op.apply(g5 * v)
+
+    matvec = apply
+
+
+class NormalOperator:
+    """``M^dag M`` (hermitian positive definite for invertible M)."""
+
+    def __init__(self, op):
+        self.op = op
+        self.adjoint = AdjointOperator(op)
+        self.ns = op.ns
+        self.nc = op.nc
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        return self.adjoint.apply(self.op.apply(v))
+
+    matvec = apply

@@ -1,0 +1,151 @@
+"""Abstract nearest-neighbour stencil operator.
+
+Both the fine-grid Wilson-Clover matrix (paper Eq 2) and every coarse
+operator produced by the Galerkin product (paper Eq 3) are
+nearest-neighbour stencils: a site-local (block-diagonal) term plus one
+hop term per direction and orientation.  This base class fixes that
+contract so that red-black preconditioning, Galerkin coarsening, domain
+decomposition and the solvers are written once against it.
+
+The hop convention: ``apply_hop(mu, +1, v)`` returns the *signed*
+contribution to ``(M v)(x)`` that reads the neighbour ``x + mu_hat``
+(any prefactor such as the Wilson ``-1/2`` is included), so
+
+    ``M v = apply_diag(v) + sum_{mu, s=+-1} apply_hop(mu, s, v)``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..fields import SpinorField
+from ..lattice import NDIM, Lattice
+
+
+class StencilOperator(abc.ABC):
+    """A nearest-neighbour operator on color-spinor data ``(V, ns, nc)``."""
+
+    lattice: Lattice
+    ns: int
+    nc: int
+
+    # ------------------------------------------------------------------
+    # primitive pieces (subclass responsibility)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def apply_diag(self, v: np.ndarray) -> np.ndarray:
+        """The site-local term of ``M v``."""
+
+    @abc.abstractmethod
+    def apply_diag_inv(self, v: np.ndarray) -> np.ndarray:
+        """Inverse of the site-local term (needed for Schur preconditioning)."""
+
+    @abc.abstractmethod
+    def apply_hop_gathered(self, mu: int, sign: int, nbr: np.ndarray) -> np.ndarray:
+        """The signed hop term given already-gathered neighbour values.
+
+        ``nbr[x] = v(x + sign*mu_hat)``.  Separating the gather from the
+        per-site math lets the domain-decomposed execution path source
+        the neighbour values from a halo exchange instead of a local
+        gather (see :mod:`repro.comm.partitioned`).
+        """
+
+    def apply_hop(self, mu: int, sign: int, v: np.ndarray) -> np.ndarray:
+        """The signed hop term of ``M v`` reading neighbour ``x + sign*mu_hat``."""
+        table = self.lattice.fwd[mu] if sign > 0 else self.lattice.bwd[mu]
+        return self.apply_hop_gathered(mu, sign, v[table])
+
+    # ------------------------------------------------------------------
+    # derived operations
+    # ------------------------------------------------------------------
+    @property
+    def site_dof(self) -> int:
+        return self.ns * self.nc
+
+    def apply_hopping(self, v: np.ndarray) -> np.ndarray:
+        """Sum of all eight hop terms."""
+        out = np.zeros_like(v)
+        for mu in range(NDIM):
+            out += self.apply_hop(mu, +1, v)
+            out += self.apply_hop(mu, -1, v)
+        return out
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        """Full matrix application ``M v`` on raw data.
+
+        Subclasses may override with a fused implementation; the default
+        composes the primitives.
+        """
+        return self.apply_diag(v) + self.apply_hopping(v)
+
+    def apply_multi(self, vs: np.ndarray) -> np.ndarray:
+        """Apply to ``K`` right-hand sides at once, shape ``(K, V, ns, nc)``.
+
+        The multiple-right-hand-side reformulation of paper Section 9:
+        the same stencil matrices serve all systems, increasing temporal
+        locality and exposing K-way extra parallelism.  The default
+        loops; subclasses override with a genuinely batched kernel.
+        """
+        return np.stack([self.apply(v) for v in vs])
+
+    # -- SpinorField conveniences ----------------------------------------
+    def __call__(self, v: SpinorField) -> SpinorField:
+        self._check_field(v)
+        return SpinorField(self.lattice, self.apply(v.data))
+
+    def _check_field(self, v: SpinorField) -> None:
+        if v.lattice != self.lattice or v.ns != self.ns or v.nc != self.nc:
+            raise ValueError(
+                f"field ({v.lattice!r}, ns={v.ns}, nc={v.nc}) does not match "
+                f"operator ({self.lattice!r}, ns={self.ns}, nc={self.nc})"
+            )
+
+    # ------------------------------------------------------------------
+    # gamma5-type hermiticity structure
+    # ------------------------------------------------------------------
+    def gamma5_diag(self) -> np.ndarray:
+        """Diagonal of the gamma5-analogue in spin space, shape (ns,).
+
+        Fine grid: diag(+1, +1, -1, -1); coarse grids: diag(+1, -1) — the
+        chirality labels survive aggregation (paper footnote 1).
+        """
+        half = self.ns // 2
+        return np.concatenate([np.ones(half), -np.ones(half)])
+
+    def apply_gamma5(self, v: np.ndarray) -> np.ndarray:
+        return v * self.gamma5_diag()[None, :, None]
+
+    # ------------------------------------------------------------------
+    # densification, for exhaustive small-lattice testing
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Dense matrix of the operator, shape (V*ns*nc, V*ns*nc).
+
+        Only sensible on tiny lattices; used by the test suite to check
+        hermiticity structure, Schur-complement identities and Galerkin
+        products exactly.
+        """
+        n = self.lattice.volume * self.site_dof
+        basis = np.zeros((self.lattice.volume, self.ns, self.nc), dtype=np.complex128)
+        out = np.empty((n, n), dtype=np.complex128)
+        flat = basis.reshape(-1)
+        for j in range(n):
+            flat[j] = 1.0
+            out[:, j] = self.apply(basis).reshape(-1)
+            flat[j] = 0.0
+        return out
+
+    # ------------------------------------------------------------------
+    # cost accounting hooks (consumed by the performance models)
+    # ------------------------------------------------------------------
+    def flops_per_site(self) -> float:
+        """Floating-point operations per output site for one application.
+
+        Generic dense-stencil count: 8 neighbour matrix-vector products
+        plus the diagonal, each ``8 * dof^2`` flops (complex fma = 8
+        flops), plus the 8-way accumulation.
+        """
+        dof = self.site_dof
+        return 9 * 8 * dof * dof + 8 * 2 * dof

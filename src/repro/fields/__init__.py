@@ -1,0 +1,6 @@
+"""Field containers: color-spinor and gauge-link fields."""
+
+from .field import SpinorField
+from .gauge import GaugeField
+
+__all__ = ["SpinorField", "GaugeField"]

@@ -1,0 +1,131 @@
+"""Lattice field containers.
+
+A field is a complex-valued array with one row per lattice site plus a
+per-site internal shape.  The fine-grid color-spinor has internal shape
+``(4, 3)`` (spin x color); a coarse color-spinor has ``(2, Nc_hat)``
+(paper Section 3.4).  Storage is site-major (site index slowest in the
+C-order array) which makes every stencil a row gather.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lattice import Lattice
+from ..precision import Precision, apply_precision
+
+
+class SpinorField:
+    """A color-spinor field: complex data of shape ``(V, ns, nc)``."""
+
+    def __init__(self, lattice: Lattice, data: np.ndarray):
+        data = np.asarray(data)
+        if data.ndim != 3 or data.shape[0] != lattice.volume:
+            raise ValueError(
+                f"spinor data must have shape (V, ns, nc) with V={lattice.volume}, "
+                f"got {data.shape}"
+            )
+        self.lattice = lattice
+        self.data = np.ascontiguousarray(data, dtype=np.complex128)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def zeros(cls, lattice: Lattice, ns: int = 4, nc: int = 3) -> "SpinorField":
+        return cls(lattice, np.zeros((lattice.volume, ns, nc), dtype=np.complex128))
+
+    @classmethod
+    def random(
+        cls,
+        lattice: Lattice,
+        ns: int = 4,
+        nc: int = 3,
+        rng: np.random.Generator | None = None,
+    ) -> "SpinorField":
+        """Gaussian random spinor field (the MG setup's random initial guess)."""
+        rng = rng if rng is not None else np.random.default_rng()
+        shape = (lattice.volume, ns, nc)
+        data = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        return cls(lattice, data)
+
+    @classmethod
+    def point_source(
+        cls, lattice: Lattice, site: int, spin: int, color: int, ns: int = 4, nc: int = 3
+    ) -> "SpinorField":
+        """Unit point source, the canonical propagator right-hand side."""
+        out = cls.zeros(lattice, ns, nc)
+        out.data[site, spin, color] = 1.0
+        return out
+
+    # -- shape ----------------------------------------------------------
+    @property
+    def ns(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def nc(self) -> int:
+        return self.data.shape[2]
+
+    @property
+    def site_dof(self) -> int:
+        return self.ns * self.nc
+
+    # -- linear algebra ---------------------------------------------------
+    def copy(self) -> "SpinorField":
+        return SpinorField(self.lattice, self.data.copy())
+
+    def zeros_like(self) -> "SpinorField":
+        return SpinorField.zeros(self.lattice, self.ns, self.nc)
+
+    def norm2(self) -> float:
+        """Squared L2 norm over all sites and internal components."""
+        flat = self.data.ravel()
+        return float(np.real(np.vdot(flat, flat)))
+
+    def norm(self) -> float:
+        return float(np.sqrt(self.norm2()))
+
+    def dot(self, other: "SpinorField") -> complex:
+        """Global inner product ``<self, other>`` (conjugate-linear in self)."""
+        return complex(np.vdot(self.data.ravel(), other.data.ravel()))
+
+    def round_to(self, precision: Precision) -> "SpinorField":
+        """Return a copy rounded through ``precision`` storage."""
+        return SpinorField(self.lattice, apply_precision(self.data, precision))
+
+    # -- arithmetic -------------------------------------------------------
+    def _check(self, other: "SpinorField") -> None:
+        if self.data.shape != other.data.shape or self.lattice != other.lattice:
+            raise ValueError("field shape/lattice mismatch")
+
+    def __add__(self, other: "SpinorField") -> "SpinorField":
+        self._check(other)
+        return SpinorField(self.lattice, self.data + other.data)
+
+    def __sub__(self, other: "SpinorField") -> "SpinorField":
+        self._check(other)
+        return SpinorField(self.lattice, self.data - other.data)
+
+    def __mul__(self, scalar) -> "SpinorField":
+        return SpinorField(self.lattice, self.data * scalar)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "SpinorField":
+        return SpinorField(self.lattice, -self.data)
+
+    def axpy(self, a, x: "SpinorField") -> None:
+        """In-place ``self += a * x`` (the paper's Listing 1 workhorse)."""
+        self._check(x)
+        self.data += a * x.data
+
+    def xpay(self, x: "SpinorField", a) -> None:
+        """In-place ``self = x + a * self``."""
+        self._check(x)
+        self.data *= a
+        self.data += x.data
+
+    def scale(self, a) -> None:
+        self.data *= a
+
+    def __repr__(self) -> str:
+        return f"SpinorField({self.lattice!r}, ns={self.ns}, nc={self.nc})"

@@ -1,0 +1,52 @@
+"""Gauge link field container.
+
+The QCD gauge field ascribes one SU(3) matrix to each link between
+neighbouring sites (paper Fig. 1): ``data[mu, x]`` is the 3x3 link
+matrix :math:`U_\\mu(x)` connecting site ``x`` to ``x + mu_hat``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lattice import NDIM, Lattice
+
+
+class GaugeField:
+    """SU(3) link field, complex data of shape ``(4, V, 3, 3)``."""
+
+    def __init__(self, lattice: Lattice, data: np.ndarray):
+        data = np.asarray(data)
+        expect = (NDIM, lattice.volume, 3, 3)
+        if data.shape != expect:
+            raise ValueError(f"gauge data must have shape {expect}, got {data.shape}")
+        self.lattice = lattice
+        self.data = np.ascontiguousarray(data, dtype=np.complex128)
+
+    @classmethod
+    def identity(cls, lattice: Lattice) -> "GaugeField":
+        """Free-field (unit) gauge configuration."""
+        data = np.zeros((NDIM, lattice.volume, 3, 3), dtype=np.complex128)
+        data[..., range(3), range(3)] = 1.0
+        return cls(lattice, data)
+
+    def copy(self) -> "GaugeField":
+        return GaugeField(self.lattice, self.data.copy())
+
+    def dagger_at(self, mu: int, sites: np.ndarray) -> np.ndarray:
+        """Hermitian conjugates of the ``mu`` links at ``sites``."""
+        return np.conj(np.swapaxes(self.data[mu, sites], -1, -2))
+
+    def unitarity_violation(self) -> float:
+        """Max deviation of ``U U^dag`` from the identity over all links."""
+        u = self.data
+        prod = u @ np.conj(np.swapaxes(u, -1, -2))
+        eye = np.eye(3, dtype=np.complex128)
+        return float(np.abs(prod - eye).max())
+
+    def determinant_violation(self) -> float:
+        """Max deviation of ``det U`` from one over all links."""
+        return float(np.abs(np.linalg.det(self.data) - 1.0).max())
+
+    def __repr__(self) -> str:
+        return f"GaugeField({self.lattice!r})"

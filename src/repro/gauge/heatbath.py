@@ -1,0 +1,160 @@
+"""Quenched SU(3) heatbath: importance-sampled gauge ensembles.
+
+The paper's ensembles are importance-sampled with respect to a lattice
+action (Section 3).  Beyond the quick ``disordered_field`` stand-ins,
+this module generates *bona fide* quenched Wilson-action ensembles with
+the Cabibbo-Marinari pseudo-heatbath: each SU(3) link is updated
+through its three SU(2) subgroups, each subgroup sampled with the
+Kennedy-Pendleton algorithm.  Links of one direction and parity have
+disjoint staples, so they are updated simultaneously (vectorized) — a
+checkerboard sweep, exactly as production codes do.
+
+``beta`` plays its usual role: large beta -> smooth fields (plaquette
+toward 1), small beta -> rough fields.  Thermalized configurations at
+moderate beta sit between the free and hot extremes and exhibit the
+fluctuation spectrum the multigrid null space has to capture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fields import GaugeField
+from ..lattice import NDIM, Lattice
+from .smear import staple_sum
+from .su3 import project_su3
+
+# the three SU(2) subgroups of SU(3): index pairs (k, l)
+_SUBGROUPS = ((0, 1), (0, 2), (1, 2))
+
+
+def _su2_from_quaternion(a: np.ndarray) -> np.ndarray:
+    """SU(2) matrices from quaternion components ``a`` of shape (n, 4)."""
+    out = np.empty(a.shape[:-1] + (2, 2), dtype=np.complex128)
+    out[..., 0, 0] = a[..., 0] + 1j * a[..., 3]
+    out[..., 0, 1] = a[..., 2] + 1j * a[..., 1]
+    out[..., 1, 0] = -a[..., 2] + 1j * a[..., 1]
+    out[..., 1, 1] = a[..., 0] - 1j * a[..., 3]
+    return out
+
+
+def _su2_project(m: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Project 2x2 complex matrices onto k * SU(2).
+
+    Returns (k, v) with ``k >= 0`` and ``v`` in SU(2) such that the
+    "quaternionic part" of ``m`` equals ``k v``.
+    """
+    a = np.empty(m.shape[:-2] + (4,), dtype=np.float64)
+    a[..., 0] = (m[..., 0, 0].real + m[..., 1, 1].real) / 2
+    a[..., 1] = (m[..., 0, 1].imag + m[..., 1, 0].imag) / 2
+    a[..., 2] = (m[..., 0, 1].real - m[..., 1, 0].real) / 2
+    a[..., 3] = (m[..., 0, 0].imag - m[..., 1, 1].imag) / 2
+    k = np.sqrt((a**2).sum(axis=-1))
+    safe = np.where(k > 1e-30, k, 1.0)
+    unit = a / safe[..., None]
+    # degenerate staples: use the identity quaternion
+    unit[k <= 1e-30] = np.array([1.0, 0, 0, 0])
+    return k, _su2_from_quaternion(unit)
+
+
+def _kennedy_pendleton(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Sample a0 with density ~ sqrt(1-a0^2) exp(x a0), vectorized.
+
+    ``x > 0`` per sample; rejection loop runs until every sample lands.
+    """
+    n = x.shape[0]
+    a0 = np.empty(n)
+    todo = np.ones(n, dtype=bool)
+    x_safe = np.maximum(x, 1e-12)
+    while todo.any():
+        m = int(todo.sum())
+        r1 = 1.0 - rng.random(m)  # in (0, 1]
+        r2 = rng.random(m)
+        r3 = 1.0 - rng.random(m)
+        lam2 = -(np.log(r1) + np.cos(2 * np.pi * r2) ** 2 * np.log(r3)) / (
+            2 * x_safe[todo]
+        )
+        accept = rng.random(m) ** 2 <= 1.0 - lam2
+        idx = np.flatnonzero(todo)[accept]
+        a0[idx] = 1.0 - 2.0 * lam2[accept]
+        todo[idx] = False
+    return np.clip(a0, -1.0, 1.0)
+
+
+def _random_su2_heatbath(
+    k: np.ndarray, beta_eff: float, rng: np.random.Generator
+) -> np.ndarray:
+    """SU(2) heatbath elements for staple magnitudes ``k``: shape (n, 2, 2)."""
+    x = beta_eff * k
+    a0 = _kennedy_pendleton(x, rng)
+    # uniform direction on the 2-sphere for the vector part
+    norm = np.sqrt(np.maximum(1.0 - a0**2, 0.0))
+    ct = 2.0 * rng.random(k.shape[0]) - 1.0
+    st = np.sqrt(np.maximum(1.0 - ct**2, 0.0))
+    phi = 2 * np.pi * rng.random(k.shape[0])
+    quat = np.stack(
+        [a0, norm * st * np.cos(phi), norm * st * np.sin(phi), norm * ct], axis=-1
+    )
+    return _su2_from_quaternion(quat)
+
+
+def _embed_su2(a2: np.ndarray, sub: tuple[int, int], n: int) -> np.ndarray:
+    """Embed SU(2) matrices into SU(3) at subgroup ``sub``."""
+    k, l = sub
+    out = np.zeros((n, 3, 3), dtype=np.complex128)
+    out[:, range(3), range(3)] = 1.0
+    out[:, k, k] = a2[:, 0, 0]
+    out[:, k, l] = a2[:, 0, 1]
+    out[:, l, k] = a2[:, 1, 0]
+    out[:, l, l] = a2[:, 1, 1]
+    return out
+
+
+def heatbath_sweep(
+    u: GaugeField, beta: float, rng: np.random.Generator
+) -> GaugeField:
+    """One full heatbath sweep (both parities, all directions, in place)."""
+    lat = u.lattice
+    out = u.copy()
+    for mu in range(NDIM):
+        for parity in (0, 1):
+            sites = lat.sites_of_parity(parity)
+            staples = staple_sum(out, mu)[sites]  # A with Re tr(U A^dag) = plaq sum
+            links = out.data[mu, sites]
+            for sub in _SUBGROUPS:
+                k_idx = np.asarray(sub)
+                w = links @ np.conj(np.swapaxes(staples, -1, -2))
+                w2 = w[np.ix_(range(len(sites)), k_idx, k_idx)]
+                k, v = _su2_project(w2)
+                # heatbath for the subgroup: new = a v^dag embedded.
+                # the subgroup weight is exp((beta/3) k Re tr2(b)) =
+                # exp((2 beta k / 3) b0), hence the factor 2/3
+                a2 = _random_su2_heatbath(k, 2.0 * beta / 3.0, rng)
+                g2 = a2 @ np.conj(np.swapaxes(v, -1, -2))
+                g = _embed_su2(g2, sub, len(sites))
+                links = g @ links
+            out.data[mu, sites] = links
+        # guard against roundoff drift off the group manifold
+        out.data[mu] = project_su3(out.data[mu])
+    return out
+
+
+def quenched_ensemble(
+    lattice: Lattice,
+    beta: float,
+    rng: np.random.Generator,
+    n_thermalize: int = 20,
+    start: str = "hot",
+) -> GaugeField:
+    """A thermalized quenched configuration at coupling ``beta``."""
+    from .generate import free_field, hot_start
+
+    if start == "hot":
+        u = hot_start(lattice, rng)
+    elif start == "cold":
+        u = free_field(lattice)
+    else:
+        raise ValueError(f"start must be 'hot' or 'cold', got {start!r}")
+    for _ in range(n_thermalize):
+        u = heatbath_sweep(u, beta, rng)
+    return u

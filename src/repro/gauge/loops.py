@@ -1,0 +1,75 @@
+"""Wilson loops and the clover-leaf field strength.
+
+The clover term of the Sheikholeslami-Wohlert action (paper Section 3.2)
+is built from the lattice field strength :math:`F_{\\mu\\nu}`, measured
+as the traceless anti-hermitian part of the average of the four
+plaquette "leaves" around each site.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fields import GaugeField
+from ..lattice import NDIM
+from .su3 import dagger, traceless_antihermitian
+
+
+def plaquette_field(u: GaugeField, mu: int, nu: int) -> np.ndarray:
+    """The (mu, nu) plaquette at every site, shape (V, 3, 3).
+
+    ``P = U_mu(x) U_nu(x+mu) U_mu(x+nu)^dag U_nu(x)^dag``.
+    """
+    fwd = u.lattice.fwd
+    return (
+        u.data[mu]
+        @ u.data[nu][fwd[mu]]
+        @ dagger(u.data[mu][fwd[nu]])
+        @ dagger(u.data[nu])
+    )
+
+
+def average_plaquette(u: GaugeField) -> float:
+    """Average of ``Re tr P / 3`` over all sites and planes (1 for free field)."""
+    total = 0.0
+    nplanes = 0
+    for mu in range(NDIM):
+        for nu in range(mu + 1, NDIM):
+            p = plaquette_field(u, mu, nu)
+            total += float(np.einsum("sii->s", p).real.mean()) / 3.0
+            nplanes += 1
+    return total / nplanes
+
+
+def clover_leaves(u: GaugeField, mu: int, nu: int) -> np.ndarray:
+    """Sum of the four clover leaves in the (mu, nu) plane, shape (V, 3, 3).
+
+    The four plaquettes around site x, all traversed counter-clockwise
+    starting and ending at x.
+    """
+    lat = u.lattice
+    fwd, bwd = lat.fwd, lat.bwd
+    umu, unu = u.data[mu], u.data[nu]
+
+    # leaf 1: x -> x+mu -> x+mu+nu -> x+nu -> x
+    l1 = umu @ unu[fwd[mu]] @ dagger(umu[fwd[nu]]) @ dagger(unu)
+    # leaf 2: x -> x+nu -> x+nu-mu -> x-mu -> x
+    xmmu = bwd[mu]
+    l2 = unu @ dagger(umu[fwd[nu]][xmmu]) @ dagger(unu[xmmu]) @ umu[xmmu]
+    # leaf 3: x -> x-mu -> x-mu-nu -> x-nu -> x
+    xmnu = bwd[nu]
+    xmm = bwd[nu][xmmu]
+    l3 = dagger(umu[xmmu]) @ dagger(unu[xmm]) @ umu[xmm] @ unu[xmnu]
+    # leaf 4: x -> x-nu -> x-nu+mu -> x+mu -> x
+    l4 = dagger(unu[xmnu]) @ umu[xmnu] @ unu[fwd[mu]][xmnu] @ dagger(umu)
+    return l1 + l2 + l3 + l4
+
+
+def field_strength(u: GaugeField, mu: int, nu: int) -> np.ndarray:
+    """Clover-leaf field strength ``F_munu``, anti-hermitian traceless (V, 3, 3).
+
+    ``F = (Q - Q^dag) / 8`` with ``Q`` the four-leaf sum; the trace part
+    is removed.  Vanishes identically on the free field.
+    """
+    q = clover_leaves(u, mu, nu)
+    return traceless_antihermitian(q) / 4.0

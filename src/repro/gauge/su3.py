@@ -1,0 +1,98 @@
+"""SU(3) group and algebra utilities.
+
+Everything operates on stacked matrices of shape ``(..., 3, 3)`` so the
+whole lattice is processed with single vectorized calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+NC = 3
+
+
+def dagger(m: np.ndarray) -> np.ndarray:
+    """Hermitian conjugate of stacked matrices."""
+    return np.conj(np.swapaxes(m, -1, -2))
+
+
+def identity_like(shape_prefix: tuple[int, ...]) -> np.ndarray:
+    out = np.zeros(shape_prefix + (NC, NC), dtype=np.complex128)
+    out[..., range(NC), range(NC)] = 1.0
+    return out
+
+
+def gell_mann() -> np.ndarray:
+    """The eight Gell-Mann matrices, shape (8, 3, 3) (hermitian, traceless)."""
+    lam = np.zeros((8, NC, NC), dtype=np.complex128)
+    lam[0, 0, 1] = lam[0, 1, 0] = 1
+    lam[1, 0, 1] = -1j
+    lam[1, 1, 0] = 1j
+    lam[2, 0, 0] = 1
+    lam[2, 1, 1] = -1
+    lam[3, 0, 2] = lam[3, 2, 0] = 1
+    lam[4, 0, 2] = -1j
+    lam[4, 2, 0] = 1j
+    lam[5, 1, 2] = lam[5, 2, 1] = 1
+    lam[6, 1, 2] = -1j
+    lam[6, 2, 1] = 1j
+    lam[7, 0, 0] = lam[7, 1, 1] = 1 / np.sqrt(3)
+    lam[7, 2, 2] = -2 / np.sqrt(3)
+    return lam
+
+
+def random_hermitian_traceless(
+    rng: np.random.Generator, n: int, scale: float = 1.0
+) -> np.ndarray:
+    """Random traceless hermitian matrices (algebra elements), shape (n, 3, 3)."""
+    coef = rng.standard_normal((n, 8)) * scale
+    return np.einsum("na,aij->nij", coef, gell_mann())
+
+
+def su3_exp(h: np.ndarray) -> np.ndarray:
+    """``exp(i H)`` for stacked hermitian traceless ``H`` — exact SU(3) elements.
+
+    Uses the eigendecomposition of the hermitian argument, which is both
+    exactly unitary (to roundoff) and vectorized.
+    """
+    w, v = np.linalg.eigh(h)
+    phase = np.exp(1j * w)
+    return np.einsum("...ik,...k,...jk->...ij", v, phase, np.conj(v))
+
+
+def random_su3(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Haar-distributed SU(3) matrices, shape (n, 3, 3).
+
+    QR of a complex Gaussian with the R-diagonal phase fix gives Haar
+    U(3); dividing by the cube root of the determinant lands in SU(3).
+    """
+    z = rng.standard_normal((n, NC, NC)) + 1j * rng.standard_normal((n, NC, NC))
+    q, r = np.linalg.qr(z)
+    d = np.einsum("...ii->...i", r)
+    q = q * (d / np.abs(d))[..., None, :]
+    det = np.linalg.det(q)
+    q = q / np.power(det, 1.0 / 3.0)[..., None, None]
+    return q
+
+
+def project_su3(m: np.ndarray) -> np.ndarray:
+    """Project stacked matrices onto SU(3) (polar projection + det fix).
+
+    This is the reunitarization step used after smearing: the nearest
+    unitary matrix in Frobenius norm via SVD, then the determinant phase
+    is divided out.
+    """
+    u, _, vh = np.linalg.svd(m)
+    w = u @ vh
+    det = np.linalg.det(w)
+    return w / np.power(det, 1.0 / 3.0)[..., None, None]
+
+
+def traceless_antihermitian(m: np.ndarray) -> np.ndarray:
+    """Project onto the traceless anti-hermitian part (algebra projection)."""
+    ah = 0.5 * (m - dagger(m))
+    tr = np.einsum("...ii->...", ah) / NC
+    out = ah.copy()
+    for i in range(NC):
+        out[..., i, i] -= tr
+    return out

@@ -1,0 +1,34 @@
+"""Analytic GPU performance model: devices, kernels, mappings, autotuner."""
+
+from .autotuner import Autotuner, TuneResult
+from .device import DEVICES, K20X, M40, P100, DeviceSpec
+from .kernels import (
+    BlasKernel,
+    CoarseDslashKernel,
+    ReductionKernel,
+    TransferKernel,
+    WilsonCloverDslashKernel,
+)
+from .mapping import Strategy, ThreadMapping, candidate_mappings
+from .model import KernelTiming, stencil_kernel_time, streaming_kernel_time
+
+__all__ = [
+    "Autotuner",
+    "TuneResult",
+    "DEVICES",
+    "K20X",
+    "M40",
+    "P100",
+    "DeviceSpec",
+    "BlasKernel",
+    "CoarseDslashKernel",
+    "ReductionKernel",
+    "TransferKernel",
+    "WilsonCloverDslashKernel",
+    "Strategy",
+    "ThreadMapping",
+    "candidate_mappings",
+    "KernelTiming",
+    "stencil_kernel_time",
+    "streaming_kernel_time",
+]

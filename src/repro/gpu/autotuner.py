@@ -1,0 +1,51 @@
+"""QUDA-style autotuning over launch geometry and template parameters.
+
+QUDA tunes every kernel's launch parameters on first call and caches
+the winner (paper Section 4); the degree of stencil-direction splitting
+and the dot-product split are template parameters included in the tune
+(Sections 6.3-6.4).  The model autotuner does exactly that over the
+candidate set a :class:`~repro.gpu.mapping.Strategy` permits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .device import DeviceSpec
+from .kernels import CoarseDslashKernel
+from .mapping import Strategy, ThreadMapping, candidate_mappings
+from .model import KernelTiming, stencil_kernel_time
+
+
+@dataclass
+class TuneResult:
+    mapping: ThreadMapping
+    timing: KernelTiming
+    candidates_tried: int
+
+
+@dataclass
+class Autotuner:
+    """Caches the best mapping per (device, kernel signature, strategy)."""
+
+    device: DeviceSpec
+    cache: dict = field(default_factory=dict)
+
+    def tune_stencil(
+        self, kernel: CoarseDslashKernel, strategy: Strategy
+    ) -> TuneResult:
+        key = (self.device.name, kernel.volume, kernel.dof, kernel.precision_bytes, strategy)
+        if key in self.cache:
+            return self.cache[key]
+        best: TuneResult | None = None
+        cands = candidate_mappings(
+            strategy, kernel.volume, kernel.dof, self.device.max_threads_per_block
+        )
+        for m in cands:
+            t = stencil_kernel_time(self.device, kernel, m)
+            if best is None or t.time_s < best.timing.time_s:
+                best = TuneResult(m, t, 0)
+        assert best is not None
+        best.candidates_tried = len(cands)
+        self.cache[key] = best
+        return best

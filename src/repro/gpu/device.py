@@ -1,0 +1,88 @@
+"""GPU device descriptions for the performance model.
+
+We cannot run CUDA in this environment, so the paper's Figure 2 (and
+the kernel times feeding the strong-scaling model) are produced by an
+analytic device model calibrated to public specifications.  The model
+captures the mechanisms the paper's Section 6 is about: warp-level SIMD
+efficiency, occupancy-driven latency hiding, memory-level parallelism,
+per-thread fixed (indexing) overheads, and the dependent-instruction
+latency difference between Kepler and the later architectures
+(Section 6.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural parameters of one GPU."""
+
+    name: str
+    sm_count: int
+    cores_per_sm: int  # FP32 lanes per SM
+    clock_ghz: float
+    peak_bandwidth_gbs: float  # pin bandwidth
+    stream_bandwidth_gbs: float  # achievable STREAM bandwidth
+    dep_latency: int  # dependent-issue latency in cycles
+    mem_latency_cycles: int  # DRAM access latency
+    warp_size: int = 32
+    max_warps_per_sm: int = 64
+    max_threads_per_block: int = 1024
+    shared_mem_per_sm_kb: int = 48
+    kernel_launch_overhead_us: float = 3.0
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak single-precision GFLOPS (FMA counted as two flops)."""
+        return 2.0 * self.sm_count * self.cores_per_sm * self.clock_ghz
+
+    @property
+    def issue_width(self) -> float:
+        """Warp-instructions issued per SM per cycle at full occupancy."""
+        return self.cores_per_sm / self.warp_size
+
+    @property
+    def mem_latency_s(self) -> float:
+        return self.mem_latency_cycles / (self.clock_ghz * 1e9)
+
+
+# Tesla K20X: the Titan GPU (GK110, 14 SMX), as used for Figure 2 and
+# all Section 7 results.
+K20X = DeviceSpec(
+    name="Tesla K20X",
+    sm_count=14,
+    cores_per_sm=192,
+    clock_ghz=0.732,
+    peak_bandwidth_gbs=250.0,
+    stream_bandwidth_gbs=175.0,
+    dep_latency=9,  # Kepler: 9-cycle dependent-instruction latency
+    mem_latency_cycles=600,
+)
+
+# Maxwell and Pascal parts mentioned in Section 6.4 (lower dependent
+# latency, 6 cycles) for the architecture-sensitivity ablation.
+M40 = DeviceSpec(
+    name="Tesla M40",
+    sm_count=24,
+    cores_per_sm=128,
+    clock_ghz=1.114,
+    peak_bandwidth_gbs=288.0,
+    stream_bandwidth_gbs=210.0,
+    dep_latency=6,
+    mem_latency_cycles=500,
+)
+
+P100 = DeviceSpec(
+    name="Tesla P100",
+    sm_count=56,
+    cores_per_sm=64,
+    clock_ghz=1.328,
+    peak_bandwidth_gbs=732.0,
+    stream_bandwidth_gbs=550.0,
+    dep_latency=6,
+    mem_latency_cycles=450,
+)
+
+DEVICES = {d.name: d for d in (K20X, M40, P100)}

@@ -1,0 +1,154 @@
+"""Kernel workload descriptions priced by the device model.
+
+Each description knows its useful flops, its memory traffic, and how
+its work divides among threads under a given
+:class:`~repro.gpu.mapping.ThreadMapping`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CoarseDslashKernel:
+    """The coarse-grid operator of paper Eq 3: 9 dense NxN matvecs/site.
+
+    ``dof = Ns_hat * Nc_hat`` (48 for 24 colors, 64 for 32).  Arithmetic
+    intensity is ~1 flop/byte in FP32 — the loss of the fine grid's
+    tensor-product structure removes the temporal locality that makes
+    the Wilson-Clover kernel 3x faster (Section 6.5).
+    """
+
+    volume: int
+    dof: int
+    precision_bytes: float = 4.0
+
+    @property
+    def flops_per_site(self) -> float:
+        n = self.dof
+        return 9 * 8 * n * n + 8 * 2 * n  # 9 complex matvecs + accumulation
+
+    @property
+    def bytes_per_site(self) -> float:
+        n = self.dof
+        matrices = 9 * n * n * 2 * self.precision_bytes
+        vectors = (9 + 2) * n * 2 * self.precision_bytes  # 9 in (8 nbr + diag), 1 out + 1 rmw
+        return matrices + vectors
+
+    @property
+    def total_flops(self) -> float:
+        return self.volume * self.flops_per_site
+
+    @property
+    def total_bytes(self) -> float:
+        return self.volume * self.bytes_per_site
+
+    def row_length(self) -> int:
+        """Complex terms per output-element dot product (one direction)."""
+        return self.dof
+
+
+@dataclass(frozen=True)
+class WilsonCloverDslashKernel:
+    """The fine-grid Wilson-Clover kernel.
+
+    Flop count is the community-standard 1824/site (1320 Wilson dslash +
+    504 clover).  Traffic depends on precision and the gauge
+    reconstruction level (18/12/8 reals per link, Section 4), and a
+    cache-reuse factor models the spatial locality of neighbouring
+    spinor loads.
+    """
+
+    volume: int
+    precision_bytes: float = 4.0
+    reconstruct: int = 12
+    spinor_reuse: float = 0.5  # fraction of neighbour loads served by cache
+    clover: bool = True
+    dof: int = 12  # complex output components per site (4 spin x 3 color)
+
+    @property
+    def flops_per_site(self) -> float:
+        return 1824.0 if self.clover else 1320.0
+
+    @property
+    def bytes_per_site(self) -> float:
+        p = self.precision_bytes
+        gauge = 8 * self.reconstruct * p
+        spinor_in = (1 + 8 * (1.0 - self.spinor_reuse)) * 24 * p
+        spinor_out = 24 * p
+        clover = (72 * p) if self.clover else 0.0
+        return gauge + spinor_in + spinor_out + clover
+
+    @property
+    def total_flops(self) -> float:
+        return self.volume * self.flops_per_site
+
+    @property
+    def total_bytes(self) -> float:
+        return self.volume * self.bytes_per_site
+
+    def row_length(self) -> int:
+        return 3  # SU(3) color dot products
+
+
+@dataclass(frozen=True)
+class BlasKernel:
+    """Streaming BLAS-1 kernel (axpy family): pure bandwidth."""
+
+    n_complex: int  # complex elements per vector
+    n_vectors_read: int = 2
+    n_vectors_written: int = 1
+    precision_bytes: float = 4.0
+    flops_per_element: float = 8.0
+
+    @property
+    def total_bytes(self) -> float:
+        return (
+            self.n_complex
+            * (self.n_vectors_read + self.n_vectors_written)
+            * 2
+            * self.precision_bytes
+        )
+
+    @property
+    def total_flops(self) -> float:
+        return self.n_complex * self.flops_per_element
+
+
+@dataclass(frozen=True)
+class ReductionKernel:
+    """Global inner product / norm: bandwidth-bound read + tree reduction."""
+
+    n_complex: int
+    n_vectors_read: int = 2
+    precision_bytes: float = 8.0  # reductions accumulate in double
+
+    @property
+    def total_bytes(self) -> float:
+        return self.n_complex * self.n_vectors_read * 2 * self.precision_bytes
+
+    @property
+    def total_flops(self) -> float:
+        return self.n_complex * 8.0
+
+
+@dataclass(frozen=True)
+class TransferKernel:
+    """Prolongator / restrictor: streams the fine field once (Section 6.6)."""
+
+    fine_volume: int
+    fine_dof: int
+    coarse_dof: int
+    precision_bytes: float = 4.0
+
+    @property
+    def total_bytes(self) -> float:
+        # fine field + per-aggregate basis (dominant) + coarse field
+        basis = self.fine_volume * self.fine_dof * self.coarse_dof / 2
+        fine = self.fine_volume * self.fine_dof
+        return (basis + 2 * fine) * 2 * self.precision_bytes
+
+    @property
+    def total_flops(self) -> float:
+        return self.fine_volume * self.fine_dof * self.coarse_dof * 8.0 / 2

@@ -1,0 +1,111 @@
+"""Thread mappings: the paper's fine-grained parallelization strategies.
+
+Section 6 exposes, cumulatively,
+
+* grid parallelism (one thread per site — the pre-existing baseline),
+* color-spin parallelism (one thread per output dof, Section 6.2),
+* stencil-direction parallelism with a shared-memory reduction
+  (Section 6.3),
+* dot-product partitioning via warp shuffles (Section 6.4),
+* instruction-level parallelism (Section 6.4, Listing 5).
+
+A :class:`ThreadMapping` is one concrete choice; a :class:`Strategy`
+bounds which choices the autotuner may consider, so the cumulative
+curves of Figure 2 are produced by widening the allowed set.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Strategy(enum.Enum):
+    """Cumulative parallelization strategies, as plotted in Figure 2."""
+
+    BASELINE = "baseline"
+    COLOR_SPIN = "color-spin"
+    STENCIL_DIRECTION = "stencil direction"
+    DOT_PRODUCT = "dot product"
+
+    @property
+    def allows_color_spin(self) -> bool:
+        return self is not Strategy.BASELINE
+
+    @property
+    def allows_direction(self) -> bool:
+        return self in (Strategy.STENCIL_DIRECTION, Strategy.DOT_PRODUCT)
+
+    @property
+    def allows_dot_split(self) -> bool:
+        return self is Strategy.DOT_PRODUCT
+
+
+@dataclass(frozen=True)
+class ThreadMapping:
+    """One concrete assignment of work to CUDA threads.
+
+    Attributes
+    ----------
+    block_x:
+        Sites per thread block (fastest-varying thread index).
+    dof_split:
+        Output dof handled by distinct y-threads (1 = a whole site's
+        output vector per thread; N = one output element per thread).
+    dir_split:
+        Stencil-direction split factor (1, 2, 4 or 8) on the z index;
+        partial results are combined in shared memory.
+    dot_split:
+        Intra-dot-product split factor combined with warp shuffles.
+    ilp:
+        Independent accumulation chains per thread (Listing 5).
+    """
+
+    block_x: int
+    dof_split: int = 1
+    dir_split: int = 1
+    dot_split: int = 1
+    ilp: int = 1
+
+    def threads_per_site(self) -> int:
+        return self.dof_split * self.dir_split * self.dot_split
+
+    def block_threads(self) -> int:
+        return self.block_x * self.threads_per_site()
+
+
+def candidate_mappings(
+    strategy: Strategy,
+    volume: int,
+    dof: int,
+    max_threads_per_block: int = 1024,
+) -> list[ThreadMapping]:
+    """Enumerate the launch configurations the autotuner may try.
+
+    Mirrors QUDA's tuner: block sizes are swept in powers of two; the
+    y (dof), z (direction) extents and the dot-split/ILP template
+    parameters are restricted by the active strategy.
+    """
+    dof_options = [1]
+    if strategy.allows_color_spin:
+        # split the output vector down to one element per thread, or any
+        # power-of-two chunking in between (Listing 3's Mc parameter)
+        dof_options += [d for d in (2, 4, 8, 16, 32, 64, 128) if dof % d == 0 and d <= dof]
+    dir_options = [1, 2, 4, 8] if strategy.allows_direction else [1]
+    dot_options = [1, 2, 4] if strategy.allows_dot_split else [1]
+    ilp_options = [1, 2, 4] if strategy.allows_dot_split else [1]
+
+    out = []
+    for dof_split in dof_options:
+        for dir_split in dir_options:
+            for dot_split in dot_options:
+                for ilp in ilp_options:
+                    per_site = dof_split * dir_split * dot_split
+                    for bx in (1, 2, 4, 8, 16, 32, 64, 128, 256):
+                        if bx > max(volume, 1):
+                            break
+                        m = ThreadMapping(bx, dof_split, dir_split, dot_split, ilp)
+                        if m.block_threads() > max_threads_per_block:
+                            continue
+                        out.append(m)
+    return out

@@ -1,0 +1,7 @@
+"""Lattice geometry: 4-d grids, indexing, parity, blocking, partitioning."""
+
+from .blocking import Blocking
+from .geometry import NDIM, Lattice
+from .partition import Partition
+
+__all__ = ["NDIM", "Lattice", "Blocking", "Partition"]

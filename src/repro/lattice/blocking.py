@@ -1,0 +1,97 @@
+"""Hypercubic aggregation (blocking) of a fine lattice onto a coarse one.
+
+The adaptive *geometric* multigrid of the paper partitions the fine
+lattice into regular, non-overlapping hypercubic aggregates (Section
+3.4): because the problem is discretized on a homogeneous hypercube
+there is no need for algebraic aggregation.  Each aggregate becomes one
+coarse-lattice site.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from .geometry import NDIM, Lattice
+
+
+class Blocking:
+    """Regular hypercubic blocking of ``fine`` with block extents ``block``.
+
+    The coarse lattice has dims ``fine.dims // block``.  Sites within an
+    aggregate are ordered lexicographically (x fastest) in the local
+    block coordinates, so per-aggregate reductions are plain reshaped
+    sums.
+    """
+
+    def __init__(self, fine: Lattice, block: tuple[int, int, int, int]):
+        block = tuple(int(b) for b in block)
+        if len(block) != NDIM:
+            raise ValueError(f"expected {NDIM} block extents, got {len(block)}")
+        for mu in range(NDIM):
+            if block[mu] < 1:
+                raise ValueError(f"block extent must be >= 1, got {block}")
+            if fine.dims[mu] % block[mu]:
+                raise ValueError(
+                    f"block {block} does not tile lattice {fine.dims} in mu={mu}"
+                )
+        coarse_dims = tuple(fine.dims[mu] // block[mu] for mu in range(NDIM))
+        if any(d % 2 for d in coarse_dims):
+            raise ValueError(
+                f"coarse dims {coarse_dims} must be even for red-black "
+                f"preconditioning on the coarse level"
+            )
+        self.fine = fine
+        self.block = block
+        self.coarse = Lattice(coarse_dims)
+        self.block_volume = int(np.prod(block))
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def agg_of_site(self) -> np.ndarray:
+        """Coarse-site index owning each fine site, shape (V_fine,)."""
+        cc = self.fine.site_coords // np.asarray(self.block)
+        return self.coarse.index(cc)
+
+    @cached_property
+    def agg_sites(self) -> np.ndarray:
+        """Fine-site indices per aggregate, shape (V_coarse, block_volume).
+
+        Within a row, sites are ordered by local block coordinate
+        (x fastest), independent of the fine lexicographic order.
+        """
+        coords = self.fine.site_coords
+        block = np.asarray(self.block)
+        local = coords % block
+        lidx = np.zeros(self.fine.volume, dtype=np.int64)
+        for mu in reversed(range(NDIM)):
+            lidx = lidx * self.block[mu] + local[:, mu]
+        out = np.empty((self.coarse.volume, self.block_volume), dtype=np.int64)
+        out[self.agg_of_site, lidx] = np.arange(self.fine.volume)
+        return out
+
+    @cached_property
+    def site_slot(self) -> np.ndarray:
+        """Local slot of each fine site within its aggregate, shape (V_fine,)."""
+        slot = np.empty(self.fine.volume, dtype=np.int64)
+        slot[self.agg_sites.ravel()] = np.tile(
+            np.arange(self.block_volume), self.coarse.volume
+        )
+        return slot
+
+    # ------------------------------------------------------------------
+    def crosses_block_fwd(self, mu: int) -> np.ndarray:
+        """True where a fine site's ``+mu`` neighbour lies in another aggregate."""
+        return self.fine.site_coords[:, mu] % self.block[mu] == self.block[mu] - 1
+
+    def crosses_block_bwd(self, mu: int) -> np.ndarray:
+        """True where a fine site's ``-mu`` neighbour lies in another aggregate."""
+        return self.fine.site_coords[:, mu] % self.block[mu] == 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Blocking({'x'.join(map(str, self.fine.dims))} / "
+            f"{'x'.join(map(str, self.block))} -> "
+            f"{'x'.join(map(str, self.coarse.dims))})"
+        )

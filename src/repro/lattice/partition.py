@@ -1,0 +1,115 @@
+"""Domain decomposition of a lattice over a process grid.
+
+This mirrors QUDA's multi-GPU decomposition: the global lattice is cut
+into equal hyper-rectangular subdomains, one per (simulated) rank.
+Stencil application on a subdomain needs one site-thick halos from the
+six.. eight face neighbours; the packing/exchange kernels live in
+:mod:`repro.comm.halo`.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from .geometry import NDIM, Lattice
+
+
+class Partition:
+    """Decompose ``global_lattice`` over a ``proc_grid`` of ranks.
+
+    Parameters
+    ----------
+    global_lattice:
+        The full lattice.
+    proc_grid:
+        Number of ranks along each direction; ``prod(proc_grid)`` ranks
+        in total.  Each local extent must divide evenly and be even (so
+        local red-black decomposition remains consistent).
+    """
+
+    def __init__(self, global_lattice: Lattice, proc_grid: tuple[int, int, int, int]):
+        proc_grid = tuple(int(p) for p in proc_grid)
+        if len(proc_grid) != NDIM:
+            raise ValueError(f"expected {NDIM} process-grid extents")
+        for mu in range(NDIM):
+            if proc_grid[mu] < 1:
+                raise ValueError(f"process grid extents must be >= 1, got {proc_grid}")
+            if global_lattice.dims[mu] % proc_grid[mu]:
+                raise ValueError(
+                    f"proc grid {proc_grid} does not tile {global_lattice.dims}"
+                )
+        self.global_lattice = global_lattice
+        self.proc_grid = proc_grid
+        self.num_ranks = int(np.prod(proc_grid))
+        self.local_dims = tuple(
+            global_lattice.dims[mu] // proc_grid[mu] for mu in range(NDIM)
+        )
+        self.local_lattice = Lattice(self.local_dims)
+
+    # ------------------------------------------------------------------
+    def rank_coords(self, rank: int) -> tuple[int, ...]:
+        """Process-grid coordinates of ``rank`` (x fastest, like sites)."""
+        out = []
+        rem = rank
+        for mu in range(NDIM):
+            out.append(rem % self.proc_grid[mu])
+            rem //= self.proc_grid[mu]
+        return tuple(out)
+
+    def rank_index(self, coords) -> int:
+        idx = 0
+        for mu in reversed(range(NDIM)):
+            idx = idx * self.proc_grid[mu] + coords[mu] % self.proc_grid[mu]
+        return int(idx)
+
+    def neighbor_rank(self, rank: int, mu: int, step: int) -> int:
+        """Rank of the process ``step`` (+1/-1) away along ``mu`` (periodic)."""
+        c = list(self.rank_coords(rank))
+        c[mu] = (c[mu] + step) % self.proc_grid[mu]
+        return self.rank_index(c)
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def owned_sites(self) -> np.ndarray:
+        """Global site indices owned by each rank, shape (num_ranks, V_local).
+
+        Within a rank the sites are ordered by *local* lexicographic
+        index, so ``field[owned_sites[r]]`` is exactly the rank's local
+        field in local ordering.
+        """
+        g = self.global_lattice
+        out = np.empty((self.num_ranks, self.local_lattice.volume), dtype=np.int64)
+        local_coords = self.local_lattice.site_coords
+        for rank in range(self.num_ranks):
+            origin = np.asarray(
+                [self.rank_coords(rank)[mu] * self.local_dims[mu] for mu in range(NDIM)]
+            )
+            out[rank] = g.index(local_coords + origin)
+        return out
+
+    def face_sites(self, mu: int, side: int) -> np.ndarray:
+        """Local site indices on the ``mu`` face (side=+1 forward, -1 backward)."""
+        coords = self.local_lattice.site_coords
+        if side > 0:
+            mask = coords[:, mu] == self.local_dims[mu] - 1
+        else:
+            mask = coords[:, mu] == 0
+        return np.flatnonzero(mask)
+
+    @property
+    def face_volume(self) -> dict[int, int]:
+        """Number of sites on each face, keyed by direction."""
+        v = self.local_lattice.volume
+        return {mu: v // self.local_dims[mu] for mu in range(NDIM)}
+
+    def is_partitioned(self, mu: int) -> bool:
+        """Whether direction ``mu`` actually crosses rank boundaries."""
+        return self.proc_grid[mu] > 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition({'x'.join(map(str, self.global_lattice.dims))} over "
+            f"{'x'.join(map(str, self.proc_grid))})"
+        )

@@ -1,0 +1,52 @@
+"""Cluster (Titan) performance model: network, levels, costs, solvers, power."""
+
+from .cluster import TITAN, ClusterSpec, choose_proc_grid, halo_bytes_per_direction, local_dims
+from .costs import MachineModel, StencilCost
+from .hetero import (
+    MODERN_CPU,
+    OPTERON_6274,
+    CpuSpec,
+    LevelPlacement,
+    choose_placement,
+    cpu_stencil_time,
+    pcie_transfer_time,
+)
+from .levels import LevelSpec, max_nodes_for_levels, mg_level_specs
+from .network import GEMINI, NetworkSpec
+from .power import node_power_watts, utilization
+from .solver_perf import SolverTime, bicgstab_time, mg_time
+from .setup_cost import SetupCost, amortization_solves, mg_setup_time
+from .throughput import PartitionChoice, best_partition, throughput_schedule
+
+__all__ = [
+    "TITAN",
+    "ClusterSpec",
+    "choose_proc_grid",
+    "halo_bytes_per_direction",
+    "local_dims",
+    "MachineModel",
+    "StencilCost",
+    "MODERN_CPU",
+    "OPTERON_6274",
+    "CpuSpec",
+    "LevelPlacement",
+    "choose_placement",
+    "cpu_stencil_time",
+    "pcie_transfer_time",
+    "LevelSpec",
+    "max_nodes_for_levels",
+    "mg_level_specs",
+    "GEMINI",
+    "NetworkSpec",
+    "node_power_watts",
+    "utilization",
+    "SolverTime",
+    "SetupCost",
+    "amortization_solves",
+    "mg_setup_time",
+    "PartitionChoice",
+    "best_partition",
+    "throughput_schedule",
+    "bicgstab_time",
+    "mg_time",
+]

@@ -1,0 +1,98 @@
+"""A GPU cluster: devices + interconnect + process-grid selection.
+
+``choose_proc_grid`` mirrors how jobs are laid out on Titan: prime
+factors of the node count are assigned greedily to the lattice
+direction with the largest remaining local extent, keeping subdomains
+as cubic as possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.device import DeviceSpec, K20X
+from ..lattice import NDIM
+from .network import GEMINI, NetworkSpec
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    name: str
+    device: DeviceSpec
+    network: NetworkSpec
+    gpus_per_node: int = 1
+    # calibrated to the paper's nvidia-smi measurements on Titan node 0
+    # (83 W BiCGStab vs 72 W MG, Iso48 on 48 nodes, Section 7.2)
+    node_idle_watts: float = 40.0
+    gpu_idle_watts: float = 14.0
+    gpu_busy_watts: float = 10.0  # baseline draw while kernels execute
+
+
+TITAN = ClusterSpec(name="Titan (Cray XK7)", device=K20X, network=GEMINI)
+
+
+def _prime_factors(n: int) -> list[int]:
+    out = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return out
+
+
+def choose_proc_grid(dims: tuple[int, int, int, int], nodes: int) -> tuple[int, ...]:
+    """Assign ``nodes`` ranks to lattice directions, largest extents first.
+
+    Raises if the node count cannot tile the lattice (mirroring the
+    paper's observation that their implementation cannot scale past the
+    point where the coarsest local lattice reaches 2^4 per node —
+    callers check that constraint separately).
+    """
+    grid = [1] * NDIM
+    local = list(dims)
+    for p in sorted(_prime_factors(nodes), reverse=True):
+        candidates = [mu for mu in range(NDIM) if local[mu] % p == 0]
+        if not candidates:
+            raise ValueError(f"cannot place factor {p} of {nodes} on lattice {dims}")
+        mu = max(candidates, key=lambda m: local[m])
+        grid[mu] *= p
+        local[mu] //= p
+    return tuple(grid)
+
+
+def local_dims(
+    dims: tuple[int, int, int, int], grid: tuple[int, ...]
+) -> tuple[int, ...]:
+    return tuple(d // g for d, g in zip(dims, grid))
+
+
+def halo_bytes_per_direction(
+    dims: tuple[int, int, int, int],
+    grid: tuple[int, ...],
+    dof_complex: int,
+    precision_bytes: float,
+    projected: bool = False,
+) -> list[float]:
+    """Bytes each rank sends per direction for one stencil application.
+
+    ``projected`` halves the spinor payload via the fine-grid spin
+    projection trick (rank-2 projectors).
+    """
+    loc = local_dims(dims, grid)
+    vol = int(np.prod(loc))
+    out = []
+    factor = 0.5 if projected else 1.0
+    for mu in range(NDIM):
+        if grid[mu] == 1:
+            out.append(0.0)
+        else:
+            face = vol // loc[mu]
+            # both orientations exchanged per application
+            out.append(2 * face * dof_complex * 2 * precision_bytes * factor)
+    return out

@@ -1,0 +1,126 @@
+"""Per-kernel cost composition on a cluster.
+
+Combines the single-GPU kernel model with the network model: stencil
+applications pay (possibly overlapped) halo exchange, inner products
+pay a log2(P) allreduce, transfer operators are node-local streaming
+kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.autotuner import Autotuner
+from ..gpu.kernels import (
+    BlasKernel,
+    CoarseDslashKernel,
+    ReductionKernel,
+    TransferKernel,
+    WilsonCloverDslashKernel,
+)
+from ..gpu.mapping import Strategy, ThreadMapping
+from ..gpu.model import stencil_kernel_time, streaming_kernel_time
+from .cluster import TITAN, ClusterSpec, choose_proc_grid, halo_bytes_per_direction, local_dims
+from .levels import LevelSpec
+
+
+@dataclass
+class StencilCost:
+    kernel_s: float
+    halo_s: float
+    total_s: float
+    achieved_bandwidth_gbs: float
+
+
+class MachineModel:
+    """Kernel and collective cost oracle for a cluster."""
+
+    def __init__(self, cluster: ClusterSpec = TITAN, strategy: Strategy = Strategy.DOT_PRODUCT):
+        self.cluster = cluster
+        self.strategy = strategy
+        self.tuner = Autotuner(cluster.device)
+
+    # ------------------------------------------------------------------
+    def proc_grid(self, level: LevelSpec, nodes: int) -> tuple[int, ...]:
+        return choose_proc_grid(level.dims, nodes)
+
+    def stencil_cost(
+        self,
+        level: LevelSpec,
+        nodes: int,
+        precision_bytes: float | None = None,
+    ) -> StencilCost:
+        """One full stencil application at a level, on ``nodes`` ranks."""
+        prec = precision_bytes if precision_bytes is not None else level.precision_bytes
+        grid = self.proc_grid(level, nodes)
+        vol_local = int(np.prod(local_dims(level.dims, grid)))
+        if level.fine:
+            kernel = WilsonCloverDslashKernel(
+                volume=vol_local,
+                precision_bytes=prec,
+                reconstruct=8 if prec <= 2.0 else 12,
+            )
+            timing = stencil_kernel_time(
+                self.cluster.device, kernel, ThreadMapping(block_x=128)
+            )
+            halo = halo_bytes_per_direction(level.dims, grid, 12, prec, projected=True)
+            t_halo = self.cluster.network.halo_time(halo)
+            # the fine-grid dslash overlaps communication (Section 6.5)
+            total = max(timing.time_s, t_halo)
+        else:
+            kernel = CoarseDslashKernel(
+                volume=vol_local, dof=level.dof, precision_bytes=prec
+            )
+            tuned = self.tuner.tune_stencil(kernel, self.strategy)
+            timing = tuned.timing
+            halo = halo_bytes_per_direction(level.dims, grid, level.dof, prec)
+            t_halo = self.cluster.network.halo_time(halo)
+            # coarse halos are latency-optimized but not overlapped
+            total = timing.time_s + t_halo
+        return StencilCost(
+            kernel_s=timing.time_s,
+            halo_s=t_halo,
+            total_s=total,
+            achieved_bandwidth_gbs=timing.achieved_bandwidth_gbs,
+        )
+
+    # ------------------------------------------------------------------
+    def blas_time(
+        self,
+        level: LevelSpec,
+        nodes: int,
+        n_vectors: int = 3,
+        precision_bytes: float | None = None,
+    ) -> float:
+        grid = self.proc_grid(level, nodes)
+        n_local = int(np.prod(local_dims(level.dims, grid))) * level.dof
+        k = BlasKernel(
+            n_complex=n_local,
+            n_vectors_read=n_vectors - 1,
+            n_vectors_written=1,
+            precision_bytes=precision_bytes
+            if precision_bytes is not None
+            else level.precision_bytes,
+        )
+        return streaming_kernel_time(self.cluster.device, k)
+
+    def reduction_time(self, level: LevelSpec, nodes: int) -> float:
+        grid = self.proc_grid(level, nodes)
+        n_local = int(np.prod(local_dims(level.dims, grid))) * level.dof
+        k = ReductionKernel(n_complex=n_local)
+        return streaming_kernel_time(self.cluster.device, k) + (
+            self.cluster.network.allreduce_time(nodes)
+        )
+
+    def transfer_time(self, fine: LevelSpec, coarse: LevelSpec, nodes: int) -> float:
+        grid = self.proc_grid(fine, nodes)
+        vol_local = int(np.prod(local_dims(fine.dims, grid)))
+        k = TransferKernel(
+            fine_volume=vol_local,
+            fine_dof=fine.dof,
+            coarse_dof=coarse.dof,
+            precision_bytes=fine.precision_bytes,
+        )
+        return streaming_kernel_time(self.cluster.device, k)

@@ -1,0 +1,129 @@
+"""Heterogeneous execution: CPU coarse grids and placement policy.
+
+Paper Section 5 frames the question — MG has throughput-limited fine
+grids and latency-limited coarse grids, and the node has both a
+throughput processor (GPU) and a latency processor (CPU) — but leaves
+the placement decision "as a run-time policy decision" for the
+autotuner.  Section 9 predicts coarse grids will eventually favour the
+CPU once GPUs exhaust the available parallelism.
+
+This module supplies the missing pieces: a CPU kernel model (no
+occupancy cliff, but an order of magnitude less bandwidth), the PCIe
+hand-off cost at the inter-grid boundary (restriction computed on the
+producer side, Section 5), and a per-level placement autotuner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.kernels import CoarseDslashKernel
+from .cluster import TITAN, ClusterSpec, choose_proc_grid, local_dims
+from .costs import MachineModel
+from .levels import LevelSpec
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A latency-optimized host processor."""
+
+    name: str
+    cores: int
+    peak_gflops: float  # all-core single precision
+    stream_bandwidth_gbs: float
+    llc_mb: float = 16.0  # last-level cache
+    cache_bandwidth_gbs: float = 60.0  # LLC streaming bandwidth
+    per_core_overhead_us: float = 0.5  # loop startup / OpenMP fork
+
+
+# Titan's host: AMD Opteron 6274 (Interlagos), 16 cores
+OPTERON_6274 = CpuSpec(
+    name="Opteron 6274",
+    cores=16,
+    peak_gflops=140.0,
+    stream_bandwidth_gbs=30.0,
+    llc_mb=16.0,
+    cache_bandwidth_gbs=60.0,
+)
+
+# a modern many-core host (the Section 9 "future" regime)
+MODERN_CPU = CpuSpec(
+    name="modern 64-core host",
+    cores=64,
+    peak_gflops=4000.0,
+    stream_bandwidth_gbs=200.0,
+    llc_mb=256.0,
+    cache_bandwidth_gbs=1200.0,
+)
+
+
+def cpu_stencil_time(cpu: CpuSpec, kernel: CoarseDslashKernel) -> float:
+    """Coarse-stencil time on the CPU.
+
+    The CPU has no warp-occupancy cliff — tiny grids run at full
+    efficiency — and, crucially, a coarse operator whose matrices fit
+    in the last-level cache streams from *cache* on every application
+    after the first (the solver applies it hundreds of times).  That
+    cache residency is the mechanism behind the eventual CPU win on the
+    smallest grids that Section 9 anticipates.
+    """
+    if kernel.total_bytes <= cpu.llc_mb * 1e6:
+        bw = cpu.cache_bandwidth_gbs * 1e9
+    else:
+        bw = cpu.stream_bandwidth_gbs * 1e9
+    t_mem = kernel.total_bytes / bw
+    t_cpu = kernel.total_flops / (cpu.peak_gflops * 1e9)
+    return max(t_mem, t_cpu) + cpu.per_core_overhead_us * 1e-6
+
+
+@dataclass
+class LevelPlacement:
+    level: int
+    device: str  # "gpu" or "cpu"
+    gpu_time_s: float
+    cpu_time_s: float
+    transfer_time_s: float  # PCIe hand-off if placed opposite to parent
+
+
+def pcie_transfer_time(level: LevelSpec, nodes: int, pcie_gbs: float = 6.0) -> float:
+    """Moving one coarse vector across PCIe at the inter-grid boundary."""
+    grid = choose_proc_grid(level.dims, nodes)
+    vol_local = int(np.prod(local_dims(level.dims, grid)))
+    nbytes = vol_local * level.dof * 2 * level.precision_bytes
+    return nbytes / (pcie_gbs * 1e9)
+
+
+def choose_placement(
+    model: MachineModel,
+    levels: list[LevelSpec],
+    nodes: int,
+    cpu: CpuSpec = OPTERON_6274,
+) -> list[LevelPlacement]:
+    """Per-level device choice minimizing stencil + hand-off time.
+
+    The fine grid always stays on the GPU (it is why the GPU is there);
+    each coarse level goes to whichever processor applies the stencil
+    faster once the PCIe hand-off of the level's vectors is charged to
+    a switch.
+    """
+    out = [LevelPlacement(0, "gpu", model.stencil_cost(levels[0], nodes).total_s, float("inf"), 0.0)]
+    prev_device = "gpu"
+    for l, spec in enumerate(levels[1:], start=1):
+        st = model.stencil_cost(spec, nodes)
+        grid = choose_proc_grid(spec.dims, nodes)
+        vol_local = int(np.prod(local_dims(spec.dims, grid)))
+        kernel = CoarseDslashKernel(
+            volume=vol_local, dof=spec.dof, precision_bytes=spec.precision_bytes
+        )
+        t_cpu = cpu_stencil_time(cpu, kernel) + st.halo_s
+        t_gpu = st.total_s
+        transfer = pcie_transfer_time(spec, nodes)
+        # charge the hand-off to whichever side differs from the parent
+        cost_gpu = t_gpu + (transfer if prev_device == "cpu" else 0.0)
+        cost_cpu = t_cpu + (transfer if prev_device == "gpu" else 0.0)
+        device = "gpu" if cost_gpu <= cost_cpu else "cpu"
+        out.append(LevelPlacement(l, device, t_gpu, t_cpu, transfer))
+        prev_device = device
+    return out

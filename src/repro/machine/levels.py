@@ -1,0 +1,59 @@
+"""Paper-scale level descriptors for the performance model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """Geometry and dof of one multigrid level at full (paper) scale."""
+
+    dims: tuple[int, int, int, int]
+    ns: int
+    nc: int
+    fine: bool  # True: Wilson-Clover kernel; False: coarse Eq-3 kernel
+    precision_bytes: float = 4.0  # bulk solves in single precision
+    smoother_precision_bytes: float = 2.0  # finest-level MR smoother in half
+
+    @property
+    def volume(self) -> int:
+        return int(np.prod(self.dims))
+
+    @property
+    def dof(self) -> int:
+        return self.ns * self.nc
+
+
+def mg_level_specs(
+    fine_dims: tuple[int, int, int, int],
+    blockings: list[tuple[int, int, int, int]],
+    n_null: list[int],
+) -> list[LevelSpec]:
+    """Build the level stack for a dataset from Table 2 blockings.
+
+    ``blockings[i]`` coarsens level ``i`` into level ``i+1``;
+    ``n_null[i]`` is the subspace size (24 or 32 in the paper).
+    """
+    if len(blockings) != len(n_null):
+        raise ValueError("need one subspace size per blocking")
+    levels = [LevelSpec(dims=fine_dims, ns=4, nc=3, fine=True)]
+    dims = fine_dims
+    for block, nv in zip(blockings, n_null):
+        if any(d % b for d, b in zip(dims, block)):
+            raise ValueError(f"block {block} does not tile {dims}")
+        dims = tuple(d // b for d, b in zip(dims, block))
+        levels.append(LevelSpec(dims=dims, ns=2, nc=nv, fine=False))
+    return levels
+
+
+def max_nodes_for_levels(levels: list[LevelSpec], min_local_extent: int = 2) -> int:
+    """Largest node count the decomposition supports.
+
+    Paper Section 7.1: the implementation bottoms out when the coarsest
+    local lattice reaches 2^4 sites per node.
+    """
+    coarsest = levels[-1].dims
+    return int(np.prod([max(1, d // min_local_extent) for d in coarsest]))

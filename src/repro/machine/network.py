@@ -1,0 +1,63 @@
+"""Interconnect model (Titan's Gemini network).
+
+Point-to-point messages are priced with the classic alpha-beta model;
+global reductions with an ``alpha * log2(P)`` latency term plus a fixed
+software overhead — the ``log N`` scaling of synchronization cost that
+the paper identifies as the coarse-grid GCR solver's limiter at large
+node counts (Section 7.2, Figure 4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Alpha-beta network parameters."""
+
+    name: str
+    latency_us: float  # per-message latency (nearest neighbour)
+    bandwidth_gbs: float  # per-link bandwidth
+    allreduce_alpha_us: float  # per-hop latency of the reduction tree
+    allreduce_beta_us: float  # fixed software overhead per allreduce
+    pcie_bandwidth_gbs: float = 6.0  # GPU <-> host staging for halos
+    noise_factor: float = 1.0  # cross-job network pollution multiplier
+
+    def message_time(self, nbytes: float) -> float:
+        """Seconds to deliver one point-to-point message."""
+        return self.latency_us * 1e-6 + nbytes / (self.bandwidth_gbs * 1e9)
+
+    def halo_time(self, nbytes_per_direction: list[float], overlap: bool = False) -> float:
+        """Seconds for a full halo exchange.
+
+        The paper's coarse-grid implementation packs all dimensions into
+        a single buffer, performs one host copy each way, and does not
+        overlap communication (Section 6.5); the fine grid overlaps and
+        is effectively one max-direction cost.
+        """
+        total_bytes = sum(nbytes_per_direction)
+        if total_bytes == 0:
+            return 0.0
+        staging = 2 * total_bytes / (self.pcie_bandwidth_gbs * 1e9)
+        n_msgs = sum(1 for b in nbytes_per_direction if b > 0)
+        wire = n_msgs * self.latency_us * 1e-6 + total_bytes / (self.bandwidth_gbs * 1e9)
+        return (staging + wire) * self.noise_factor
+
+    def allreduce_time(self, num_ranks: int) -> float:
+        """Seconds for a small (scalar) allreduce over ``num_ranks``."""
+        if num_ranks <= 1:
+            return self.allreduce_beta_us * 1e-6
+        hops = math.ceil(math.log2(num_ranks))
+        return (self.allreduce_beta_us + self.allreduce_alpha_us * hops) * 1e-6
+
+
+# Titan's Gemini 3-D torus, per published microbenchmarks.
+GEMINI = NetworkSpec(
+    name="Cray Gemini (Titan)",
+    latency_us=1.5,
+    bandwidth_gbs=5.0,
+    allreduce_alpha_us=4.0,
+    allreduce_beta_us=8.0,
+)

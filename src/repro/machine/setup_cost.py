@@ -1,0 +1,68 @@
+"""Multigrid setup cost and its amortization.
+
+The paper excludes setup time from Table 3 "because in a throughput
+calculation this time is completely amortized by a very large number of
+solves. For example in hadron spectroscopy calculations O(1e5)-O(1e6)
+solves may be carried out per gauge configuration" (Section 7.1).  This
+module prices the setup on the machine model so that the amortization
+claim is quantitative: after how many solves does MG (setup included)
+beat BiCGStab?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .costs import MachineModel
+from .levels import LevelSpec
+
+
+@dataclass
+class SetupCost:
+    total_s: float
+    null_vector_s: float
+    galerkin_s: float
+
+
+def mg_setup_time(
+    model: MachineModel,
+    levels: list[LevelSpec],
+    nodes: int,
+    n_null: list[int],
+    null_iters: int = 100,
+) -> SetupCost:
+    """Model the adaptive-setup wallclock at Titan scale.
+
+    Null-vector generation: ``n_null[l] * null_iters`` BiCGStab
+    iterations (2 stencils + BLAS each) on level ``l``; the Galerkin
+    product: ``2 * n_null[l]`` coarse-dof columns, each costing roughly
+    one fine-level stencil application per hop direction (9 terms).
+    """
+    null_s = 0.0
+    galerkin_s = 0.0
+    for l, nv in enumerate(n_null):
+        spec = levels[l]
+        st = model.stencil_cost(spec, nodes)
+        t_blas = model.blas_time(spec, nodes)
+        t_red = model.reduction_time(spec, nodes)
+        per_iter = 2 * st.total_s + 4 * t_blas + 4 * t_red
+        null_s += nv * null_iters * per_iter
+        galerkin_s += 2 * nv * 9 * st.total_s
+    return SetupCost(
+        total_s=null_s + galerkin_s,
+        null_vector_s=null_s,
+        galerkin_s=galerkin_s,
+    )
+
+
+def amortization_solves(
+    setup_s: float, bicgstab_solve_s: float, mg_solve_s: float
+) -> float:
+    """Number of solves after which MG including setup wins.
+
+    ``n >= setup / (t_bicgstab - t_mg)``; infinite if MG never wins.
+    """
+    gain = bicgstab_solve_s - mg_solve_s
+    if gain <= 0:
+        return float("inf")
+    return setup_s / gain

@@ -1,0 +1,134 @@
+"""Solver-level time composition: BiCGStab and multigrid at Titan scale.
+
+These models combine three ingredients:
+
+* iteration counts and per-level work profiles *measured* from real
+  (down-scaled) solves with this library — or replayed from the paper's
+  Table 3 when validating the time model in isolation;
+* per-kernel times from the GPU model (so the Figure 2 fine-grained
+  parallelization directly determines the coarse-level costs);
+* halo and allreduce costs from the network model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .costs import MachineModel
+from .levels import LevelSpec
+
+# work profile of one BiCGStab iteration (red-black, mixed precision):
+# two preconditioned matvecs (each ~ one full-volume dslash equivalent),
+# ~4 fused streaming BLAS updates, 4 global reductions.
+BICGSTAB_MATVECS = 2
+BICGSTAB_BLAS = 4
+BICGSTAB_REDUCTIONS = 4
+
+
+@dataclass
+class SolverTime:
+    """Wallclock decomposition of one solve."""
+
+    total_s: float
+    per_iteration_s: float
+    iterations: float
+    level_seconds: dict[int, float] = field(default_factory=dict)
+    component_seconds: dict[str, float] = field(default_factory=dict)
+    total_flops: float = 0.0  # useful flops per rank (drives the power model)
+
+    @property
+    def gflops(self) -> float:
+        return self.total_flops / max(self.total_s, 1e-30) / 1e9
+
+
+def bicgstab_time(
+    model: MachineModel,
+    fine: LevelSpec,
+    nodes: int,
+    iterations: float,
+    precision_bytes: float = 2.0,
+) -> SolverTime:
+    """Mixed-precision red-black BiCGStab wallclock at ``nodes`` ranks."""
+    st = model.stencil_cost(fine, nodes, precision_bytes=precision_bytes)
+    t_blas = model.blas_time(fine, nodes, precision_bytes=precision_bytes)
+    t_red = model.reduction_time(fine, nodes)
+    per_iter = (
+        BICGSTAB_MATVECS * st.total_s
+        + BICGSTAB_BLAS * t_blas
+        + BICGSTAB_REDUCTIONS * t_red
+    )
+    # reliable updates: occasional double-precision residual recomputation
+    per_iter *= 1.02
+    total = iterations * per_iter
+    grid = model.proc_grid(fine, nodes)
+    vol_local = fine.volume / max(1, int(np.prod(grid)))
+    flops = iterations * (BICGSTAB_MATVECS * vol_local * 1824.0 + 10 * vol_local * fine.dof * 8)
+    return SolverTime(
+        total_s=total,
+        per_iteration_s=per_iter,
+        iterations=iterations,
+        level_seconds={0: total},
+        component_seconds={
+            "dslash": iterations * BICGSTAB_MATVECS * st.kernel_s,
+            "halo": iterations * BICGSTAB_MATVECS * st.halo_s,
+            "blas": iterations * BICGSTAB_BLAS * t_blas,
+            "reductions": iterations * BICGSTAB_REDUCTIONS * t_red,
+        },
+        total_flops=flops,
+    )
+
+
+def mg_time(
+    model: MachineModel,
+    levels: list[LevelSpec],
+    nodes: int,
+    level_stats: dict[int, dict],
+    outer_iterations: float,
+) -> SolverTime:
+    """Multigrid wallclock from per-level work counters.
+
+    ``level_stats[l]`` carries the counters of one *whole solve* (the
+    dict stored in ``SolveResult.extra['level_stats']``): stencil
+    applications, smoother applications, reductions, transfers.
+    """
+    level_seconds: dict[int, float] = {}
+    components = {"stencil": 0.0, "halo": 0.0, "smoother": 0.0, "reductions": 0.0, "transfer": 0.0}
+    total_flops = 0.0
+    for l, spec in enumerate(levels):
+        stats = level_stats.get(l) or level_stats.get(str(l))
+        if stats is None:
+            continue
+        st_bulk = model.stencil_cost(spec, nodes)
+        t = stats["op_applies"] * st_bulk.total_s
+        components["stencil"] += stats["op_applies"] * st_bulk.kernel_s
+        components["halo"] += stats["op_applies"] * st_bulk.halo_s
+        if stats.get("smoother_applies"):
+            prec = spec.smoother_precision_bytes if spec.fine else spec.precision_bytes
+            st_smooth = model.stencil_cost(spec, nodes, precision_bytes=prec)
+            t += stats["smoother_applies"] * st_smooth.total_s
+            components["smoother"] += stats["smoother_applies"] * st_smooth.total_s
+        t_red = model.reduction_time(spec, nodes)
+        t += stats["reductions"] * t_red
+        components["reductions"] += stats["reductions"] * t_red
+        n_transfer = stats.get("restricts", 0) + stats.get("prolongs", 0)
+        if n_transfer and l + 1 < len(levels):
+            t_tr = model.transfer_time(spec, levels[l + 1], nodes)
+            t += n_transfer * t_tr
+            components["transfer"] += n_transfer * t_tr
+        level_seconds[l] = t
+        grid = model.proc_grid(spec, nodes)
+        vol_local = spec.volume / max(1, int(np.prod(grid)))
+        site_flops = 1824.0 if spec.fine else (72.0 * spec.dof**2 + 16 * spec.dof)
+        n_stencil = stats["op_applies"] + stats.get("smoother_applies", 0)
+        total_flops += n_stencil * vol_local * site_flops
+    total = sum(level_seconds.values())
+    return SolverTime(
+        total_s=total,
+        per_iteration_s=total / max(outer_iterations, 1),
+        iterations=outer_iterations,
+        level_seconds=level_seconds,
+        component_seconds=components,
+        total_flops=total_flops,
+    )

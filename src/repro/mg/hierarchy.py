@@ -1,0 +1,162 @@
+"""The multigrid level stack.
+
+Builds the recursive hierarchy of paper Section 3.4: generate near-null
+vectors on the current level, aggregate them into a chirality-preserving
+prolongator, form the Galerkin coarse operator, and repeat.  The coarse
+operator retains the Eq-3 nearest-neighbour form on every level, so one
+code path serves all levels — the same property QUDA exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..coarse import coarsen_operator
+from ..lattice import Blocking
+from ..transfer import Transfer
+from .params import LevelParams, MGParams
+from .schwarz import SchwarzMRSmoother
+from .setup import generate_null_vectors
+from .smoother import SchurMRSmoother
+
+
+@dataclass
+class LevelStats:
+    """Work counters for one level, reset per outer solve.
+
+    These drive the per-level time breakdown (paper Figure 4): the
+    machine model converts them into kernel and reduction times.
+    """
+
+    op_applies: int = 0  # full-stencil applications (residuals, GCR matvecs)
+    smoother_applies: int = 0  # Schur/MR smoothing steps (dslash-equivalents)
+    gcr_iters: int = 0  # GCR iterations run at this level
+    restricts: int = 0
+    prolongs: int = 0
+    reductions: int = 0  # global inner products / norms
+
+    def reset(self) -> None:
+        self.op_applies = 0
+        self.smoother_applies = 0
+        self.gcr_iters = 0
+        self.restricts = 0
+        self.prolongs = 0
+        self.reductions = 0
+
+    def total_stencil_work(self) -> int:
+        return self.op_applies + self.smoother_applies
+
+
+@dataclass
+class MGLevel:
+    """One level of the hierarchy.
+
+    ``params``/``transfer`` describe the coarsening *from* this level and
+    are ``None`` on the coarsest level.
+    """
+
+    index: int
+    op: object  # StencilOperator (fine WilsonClover or CoarseOperator)
+    params: LevelParams | None = None
+    transfer: Transfer | None = None
+    smoother: SchurMRSmoother | None = None
+    null_vectors: list[np.ndarray] = field(default_factory=list)
+    stats: LevelStats = field(default_factory=LevelStats)
+
+    @property
+    def is_coarsest(self) -> bool:
+        return self.transfer is None
+
+
+def _build_smoother(op, lp: LevelParams, params: MGParams, rng: np.random.Generator):
+    """Construct the configured smoother for one level."""
+    if params.smoother_type == "schur-mr":
+        return SchurMRSmoother(
+            op,
+            steps=lp.smoother_steps,
+            omega=lp.smoother_omega,
+            precision=params.smoother_precision,
+        )
+    if params.smoother_type == "chebyshev":
+        from ..solvers.chebyshev import ChebyshevSmoother
+
+        return ChebyshevSmoother(op, degree=lp.smoother_steps, rng=rng)
+    # "schwarz": cut along the configured process grid where it tiles;
+    # levels too coarse for the grid fall back to the Schur-MR smoother
+    from ..lattice import Partition
+
+    assert params.schwarz_grid is not None
+    try:
+        partition = Partition(op.lattice, params.schwarz_grid)
+    except ValueError:
+        return SchurMRSmoother(
+            op, steps=lp.smoother_steps, omega=lp.smoother_omega,
+            precision=params.smoother_precision,
+        )
+    return SchwarzMRSmoother(
+        op, partition, steps=lp.smoother_steps, omega=lp.smoother_omega
+    )
+
+
+class MultigridHierarchy:
+    """The complete level stack for a fine operator and an :class:`MGParams`."""
+
+    def __init__(self, levels: list[MGLevel], params: MGParams):
+        self.levels = levels
+        self.params = params
+
+    @classmethod
+    def build(
+        cls,
+        fine_op,
+        params: MGParams,
+        rng: np.random.Generator,
+        verbose: bool = False,
+    ) -> "MultigridHierarchy":
+        levels: list[MGLevel] = []
+        current = fine_op
+        for index, lp in enumerate(params.levels):
+            if verbose:
+                print(
+                    f"[mg setup] level {index}: {current.lattice!r} "
+                    f"ns={current.ns} nc={current.nc}; generating {lp.n_null} "
+                    f"null vectors ({lp.null_iters} relaxation iters each)"
+                )
+            nulls = generate_null_vectors(
+                current, lp.n_null, rng, null_iters=lp.null_iters
+            )
+            blocking = Blocking(current.lattice, lp.block)
+            transfer = Transfer(blocking, nulls)
+            smoother = _build_smoother(current, lp, params, rng)
+            levels.append(
+                MGLevel(
+                    index=index,
+                    op=current,
+                    params=lp,
+                    transfer=transfer,
+                    smoother=smoother,
+                    null_vectors=nulls,
+                )
+            )
+            current = coarsen_operator(current, transfer)
+        levels.append(MGLevel(index=len(params.levels), op=current))
+        if verbose:
+            lat = current.lattice
+            print(
+                f"[mg setup] coarsest level {len(levels) - 1}: {lat!r} "
+                f"ns={current.ns} nc={current.nc}"
+            )
+        return cls(levels, params)
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    def reset_stats(self) -> None:
+        for lev in self.levels:
+            lev.stats.reset()
+
+    def stats_summary(self) -> dict[int, LevelStats]:
+        return {lev.index: lev.stats for lev in self.levels}

@@ -1,0 +1,158 @@
+"""The multigrid K-cycle preconditioner (paper Section 7.1).
+
+Each application at level ``l``:
+
+1. pre-smooth with MR (red-black preconditioned),
+2. restrict the residual,
+3. solve the coarse system with GCR — itself preconditioned by the
+   K-cycle of level ``l+1`` on intermediate levels (that nesting is what
+   makes it a K-cycle rather than a V-cycle),
+4. prolongate and correct,
+5. post-smooth.
+
+All work is recorded in the per-level :class:`~repro.mg.hierarchy.LevelStats`
+so the benchmark harness can reproduce the paper's Figure 4 time
+breakdown.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dirac.even_odd import SchurOperator
+from ..precision import Precision
+from ..solvers.gcr import gcr
+from ..solvers.mixed import PrecisionOperator
+from .hierarchy import LevelStats, MGLevel, MultigridHierarchy
+
+
+def gcr_reductions(iterations: int, nkrylov: int) -> int:
+    """Global reductions incurred by ``iterations`` GCR steps.
+
+    Step ``j`` of a restart cycle performs ``j`` orthogonalization dots
+    plus the ``<w,w>``, ``<w,r>`` and ``|r|`` reductions.
+    """
+    return sum((i % nkrylov) + 3 for i in range(iterations))
+
+
+class _CountingOp:
+    """Operator wrapper that books applications into a :class:`LevelStats`."""
+
+    def __init__(self, op, stats: LevelStats):
+        self.op = op
+        self.stats = stats
+        self.ns = getattr(op, "ns", None)
+        self.nc = getattr(op, "nc", None)
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        self.stats.op_applies += 1
+        return self.op.apply(v)
+
+    matvec = apply
+
+
+class KCyclePreconditioner:
+    """The K-cycle at a given level of a :class:`MultigridHierarchy`."""
+
+    def __init__(self, hierarchy: MultigridHierarchy, level: int = 0):
+        self.hierarchy = hierarchy
+        self.level = level
+        self.last_inner_iterations = 0
+
+    # ------------------------------------------------------------------
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        lev = self.hierarchy.levels[self.level]
+        assert lev.params is not None and lev.transfer is not None
+        lp = lev.params
+        stats = lev.stats
+
+        # 1. pre-smooth
+        z = self._smooth(lev, r)
+
+        # 2. defect restriction
+        stats.op_applies += 1
+        r1 = r - lev.op.apply(z)
+        stats.restricts += 1
+        rc = lev.transfer.restrict(r1)
+
+        # 3. coarse solve (GCR; K-cycle-preconditioned unless coarsest)
+        ec = self._coarse_solve(rc)
+
+        # 4. prolongate and correct
+        stats.prolongs += 1
+        z = z + lev.transfer.prolong(ec)
+
+        # 5. post-smooth
+        stats.op_applies += 1
+        r2 = r - lev.op.apply(z)
+        z = z + self._smooth(lev, r2)
+        return z
+
+    # ------------------------------------------------------------------
+    def _smooth(self, lev: MGLevel, r: np.ndarray) -> np.ndarray:
+        assert lev.smoother is not None and lev.params is not None
+        lev.stats.smoother_applies += lev.params.smoother_steps + 1
+        lev.stats.reductions += 2 * lev.params.smoother_steps
+        return lev.smoother.apply(r)
+
+    def _coarse_solve(self, rc: np.ndarray) -> np.ndarray:
+        params = self.hierarchy.params
+        lp = self.hierarchy.levels[self.level].params
+        assert lp is not None
+        coarse = self.hierarchy.levels[self.level + 1]
+        stats = coarse.stats
+
+        if coarse.is_coarsest:
+            ec = self._coarsest_solve(coarse, rc, lp)
+        elif params.cycle_type == "K":
+            cp = coarse.params
+            assert cp is not None
+            inner_pre = KCyclePreconditioner(self.hierarchy, self.level + 1)
+            op = _CountingOp(self._wrap_precision(coarse.op), stats)
+            res = gcr(
+                op,
+                rc,
+                tol=lp.coarse_tol,
+                maxiter=lp.coarse_maxiter,
+                nkrylov=cp.nkrylov,
+                preconditioner=inner_pre,
+            )
+            stats.gcr_iters += res.iterations
+            stats.reductions += gcr_reductions(res.iterations, cp.nkrylov)
+            ec = res.x
+        else:
+            # V- or W-cycle: apply the next level's cycle directly as an
+            # approximate solve, once (V) or twice with defect correction (W)
+            inner = KCyclePreconditioner(self.hierarchy, self.level + 1)
+            ec = inner.apply(rc)
+            if params.cycle_type == "W":
+                stats.op_applies += 1
+                rc2 = rc - self._wrap_precision(coarse.op).apply(ec)
+                ec = ec + inner.apply(rc2)
+        return ec
+
+    def _coarsest_solve(self, coarse: MGLevel, rc: np.ndarray, lp) -> np.ndarray:
+        params = self.hierarchy.params
+        stats = coarse.stats
+        nk = lp.nkrylov
+        if params.coarsest_schur:
+            schur = SchurOperator(coarse.op, parity=0)
+            rs = schur.prepare_source(rc)
+            stats.op_applies += 1
+            op = _CountingOp(self._wrap_precision(schur), stats)
+            res = gcr(op, rs, tol=lp.coarse_tol, maxiter=lp.coarse_maxiter, nkrylov=nk)
+            stats.op_applies += 1
+            ec = schur.reconstruct(res.x, rc)
+        else:
+            op = _CountingOp(self._wrap_precision(coarse.op), stats)
+            res = gcr(op, rc, tol=lp.coarse_tol, maxiter=lp.coarse_maxiter, nkrylov=nk)
+            ec = res.x
+        stats.gcr_iters += res.iterations
+        stats.reductions += gcr_reductions(res.iterations, nk)
+        return ec
+
+    def _wrap_precision(self, op):
+        precision = self.hierarchy.params.coarse_precision
+        if precision is Precision.DOUBLE:
+            return op
+        return PrecisionOperator(op, precision)

@@ -1,0 +1,64 @@
+"""Multigrid parameter blocks.
+
+Defaults mirror the paper's Section 7.1 configuration: a three-level
+K-cycle, GCR(10) outer and intermediate solvers, four pre/post MR
+smoothing steps, red-black preconditioning on every level, and loose
+coarse-grid tolerances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..precision import Precision
+
+
+@dataclass
+class LevelParams:
+    """Parameters of one coarsening step (from level ``l`` to ``l+1``)."""
+
+    block: tuple[int, int, int, int]
+    n_null: int
+    null_iters: int = 100  # relaxation iterations per null vector
+    smoother_steps: int = 4  # MR pre/post smoothing applications
+    smoother_omega: float = 0.85
+    coarse_tol: float = 0.25  # K-cycle coarse-solve tolerance
+    coarse_maxiter: int = 16  # GCR iterations per coarse solve
+    nkrylov: int = 10  # GCR subspace size at this level
+
+
+@dataclass
+class MGParams:
+    """Full multigrid configuration: one :class:`LevelParams` per coarsening."""
+
+    levels: list[LevelParams]
+    outer_tol: float = 1e-8
+    outer_maxiter: int = 200
+    outer_nkrylov: int = 10
+    cycle_type: str = "K"  # "K" (paper), "V", or "W"
+    smoother_type: str = "schur-mr"  # "schur-mr" (paper), "chebyshev", "schwarz"
+    schwarz_grid: tuple[int, int, int, int] | None = None  # for "schwarz"
+    smoother_precision: Precision = Precision.DOUBLE
+    coarse_precision: Precision = Precision.DOUBLE
+    smoother_schur: bool = True  # red-black preconditioned smoother
+    coarsest_schur: bool = True  # red-black preconditioned coarsest solve
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.cycle_type not in ("K", "V", "W"):
+            raise ValueError(f"cycle_type must be 'K', 'V' or 'W', got {self.cycle_type!r}")
+        if self.smoother_type not in ("schur-mr", "chebyshev", "schwarz"):
+            raise ValueError(
+                f"smoother_type must be 'schur-mr', 'chebyshev' or 'schwarz', "
+                f"got {self.smoother_type!r}"
+            )
+        if self.smoother_type == "schwarz" and self.schwarz_grid is None:
+            raise ValueError("smoother_type 'schwarz' requires schwarz_grid")
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels) + 1
+
+    def subspace_label(self) -> str:
+        """The paper's strategy label, e.g. '24/32'."""
+        return "/".join(str(lp.n_null) for lp in self.levels)

@@ -1,0 +1,73 @@
+"""Algorithm-policy autotuning (paper Section 4).
+
+"The autotuner can also tune for arbitrary algorithm policy choices
+outside of kernel launch parameters."  Here the tunable policies are
+algorithmic: the cycle type and the smoother depth.  The tuner runs one
+trial solve per candidate on a caller-supplied right-hand side and
+caches the winner — the same measure-once-reuse-forever pattern QUDA
+applies to launch geometry.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .params import MGParams
+from .solver import MultigridSolver
+
+
+@dataclass
+class PolicyCandidate:
+    cycle_type: str
+    smoother_steps: int
+    solve_seconds: float
+    iterations: int
+    converged: bool
+
+
+@dataclass
+class PolicyTuneResult:
+    best: PolicyCandidate
+    candidates: list[PolicyCandidate]
+    params: MGParams
+
+
+def tune_policy(
+    fine_op,
+    base_params: MGParams,
+    b: np.ndarray,
+    rng: np.random.Generator,
+    cycle_types: tuple[str, ...] = ("K", "V", "W"),
+    smoother_steps: tuple[int, ...] = (2, 4),
+    setup_rng_seed: int = 0,
+) -> PolicyTuneResult:
+    """Trial-solve every (cycle, smoother-depth) policy and keep the best.
+
+    The multigrid *setup* (null vectors, Galerkin products) is policy
+    independent, so the hierarchy is built once per smoother depth and
+    the cycle type is switched on top of it.
+    """
+    candidates: list[PolicyCandidate] = []
+    best: PolicyCandidate | None = None
+    best_params: MGParams | None = None
+    for steps in smoother_steps:
+        levels = [replace(lp, smoother_steps=steps) for lp in base_params.levels]
+        for cycle in cycle_types:
+            params = replace(base_params, levels=levels, cycle_type=cycle)
+            solver = MultigridSolver(
+                fine_op, params, np.random.default_rng(setup_rng_seed)
+            )
+            t0 = time.perf_counter()
+            res = solver.solve(b)
+            dt = time.perf_counter() - t0
+            cand = PolicyCandidate(cycle, steps, dt, res.iterations, res.converged)
+            candidates.append(cand)
+            if res.converged and (best is None or dt < best.solve_seconds):
+                best = cand
+                best_params = params
+    if best is None or best_params is None:
+        raise RuntimeError("no policy candidate converged; loosen the tolerance")
+    return PolicyTuneResult(best=best, candidates=candidates, params=best_params)

@@ -1,0 +1,53 @@
+"""Multigrid smoothers.
+
+Two flavours:
+
+* :class:`MRSmoother` (re-exported from the solvers package) relaxes the
+  full-lattice system directly.
+* :class:`SchurMRSmoother` relaxes the red-black preconditioned (Schur)
+  system and reconstructs the opposite parity exactly — this is the
+  "red-black preconditioning on all levels" of paper Section 7.1 and is
+  substantially stronger per application.
+
+Both may run in reduced precision (the paper smooths in half precision
+on the finest level).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dirac.even_odd import SchurOperator
+from ..precision import Precision
+from ..solvers.mixed import PrecisionOperator
+from ..solvers.mr import mr
+
+
+class SchurMRSmoother:
+    """MR relaxation of the even-parity Schur system with exact odd update.
+
+    ``apply(r)`` returns an approximate solution ``z`` of ``M z = r``
+    from a zero initial guess, suitable as a (variable) preconditioner.
+    """
+
+    def __init__(
+        self,
+        op,
+        steps: int = 4,
+        omega: float = 0.85,
+        precision: Precision = Precision.DOUBLE,
+    ):
+        self.schur = SchurOperator(op, parity=0)
+        self.steps = steps
+        self.omega = omega
+        self.precision = precision
+        self._solve_op = (
+            self.schur
+            if precision is Precision.DOUBLE
+            else PrecisionOperator(self.schur, precision)
+        )
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        rs = self.schur.prepare_source(r)
+        result = mr(self._solve_op, rs, maxiter=self.steps, omega=self.omega)
+        return self.schur.reconstruct(result.x, r)

@@ -1,0 +1,14 @@
+"""Precision emulation: double / single / half (QUDA block fixed point)."""
+
+from .half import dequantize_half, half_roundtrip, quantize_half
+from .policy import Precision, apply_precision, dtype_of, rel_epsilon
+
+__all__ = [
+    "Precision",
+    "apply_precision",
+    "dtype_of",
+    "rel_epsilon",
+    "quantize_half",
+    "dequantize_half",
+    "half_roundtrip",
+]

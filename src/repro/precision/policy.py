@@ -1,0 +1,65 @@
+"""Run-time precision policy.
+
+QUDA elevates field precision to a run-time property (Section 4): each
+field carries its precision and mixed-precision solvers convert at the
+boundaries between outer and inner iterations.  We emulate this on top
+of NumPy: ``double`` is complex128, ``single`` rounds through
+complex64, and ``half`` rounds through QUDA's 16-bit block-normalized
+fixed-point format (see :mod:`repro.precision.half`).  Computation
+always proceeds in complex128 afterwards; only the *storage rounding*
+is emulated, which is what drives mixed-precision convergence behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from .half import half_roundtrip
+
+
+class Precision(enum.Enum):
+    """Storage precision of a field."""
+
+    DOUBLE = "double"
+    SINGLE = "single"
+    HALF = "half"
+
+    @property
+    def bytes_per_real(self) -> float:
+        """Storage cost per real number, used by the performance models.
+
+        Half precision costs slightly over 2 bytes per real because of
+        the per-site float32 norm (amortized over 24 reals for a spinor).
+        """
+        return {"double": 8.0, "single": 4.0, "half": 2.0}[self.value]
+
+
+def dtype_of(precision: Precision) -> np.dtype:
+    """Computation dtype used while a field is held at ``precision``."""
+    if precision is Precision.DOUBLE:
+        return np.dtype(np.complex128)
+    return np.dtype(np.complex64)
+
+
+def rel_epsilon(precision: Precision) -> float:
+    """Unit roundoff of the storage format (half: 2^-15 block fixed point)."""
+    return {
+        Precision.DOUBLE: float(np.finfo(np.float64).eps),
+        Precision.SINGLE: float(np.finfo(np.float32).eps),
+        Precision.HALF: 2.0**-15,
+    }[precision]
+
+
+def apply_precision(data: np.ndarray, precision: Precision) -> np.ndarray:
+    """Round ``data`` through the storage format of ``precision``.
+
+    ``data`` has shape ``(V, ...)`` with one site per leading-axis entry;
+    half-precision normalization is per site, as in QUDA.
+    """
+    if precision is Precision.DOUBLE:
+        return np.ascontiguousarray(data, dtype=np.complex128)
+    if precision is Precision.SINGLE:
+        return data.astype(np.complex64).astype(np.complex128)
+    return half_roundtrip(data)

@@ -1,0 +1,15 @@
+"""Report generators for every paper table and figure.
+
+Each module is runnable: ``python -m repro.reporting.<name> [mode]``.
+
+* :mod:`repro.reporting.table1` — lattice configurations
+* :mod:`repro.reporting.table2` — multigrid parameters
+* :mod:`repro.reporting.fig2` — fine-grained parallelization GFLOPS
+* :mod:`repro.reporting.table3` — solver comparison at Titan scale
+* :mod:`repro.reporting.fig3` — strong-scaling curves
+* :mod:`repro.reporting.fig4` — per-level time breakdown
+"""
+
+from . import convergence, experiments, fig2, fig3, fig4, format, table1, table2, table3
+
+__all__ = ["convergence", "experiments", "fig2", "fig3", "fig4", "format", "table1", "table2", "table3"]

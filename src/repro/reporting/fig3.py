@@ -1,0 +1,48 @@
+"""Figure 3: wallclock vs node count, one panel per dataset.
+
+Same data as Table 3, presented as scaling series (the paper's
+three-panel figure).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..workloads import PAPER_DATASETS
+from .experiments import Table3Row, compute_all_rows
+from .format import render_series
+
+
+def render(rows: list[Table3Row], mode: str) -> str:
+    blocks = []
+    for label, paper in PAPER_DATASETS.items():
+        subset = [r for r in rows if r.dataset == label]
+        solvers = sorted({r.solver for r in subset}, key=lambda s: (s == "BiCGStab", s))
+        series = {}
+        for solver in solvers:
+            series[solver] = [
+                next((r.time_s for r in subset if r.nodes == n and r.solver == solver), float("nan"))
+                for n in paper.node_counts
+            ]
+        blocks.append(
+            render_series(
+                "XK nodes",
+                list(paper.node_counts),
+                series,
+                title=(
+                    f"Figure 3 panel ({mode}): {label} "
+                    f"(V={paper.ls}^3x{paper.lt}, r={paper.target_residuum:.0e}) — "
+                    f"wallclock seconds"
+                ),
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main(mode: str = "replay", n_rhs: int = 2) -> str:
+    rows = compute_all_rows(mode=mode, n_rhs=n_rhs)
+    return render(rows, mode)
+
+
+if __name__ == "__main__":
+    print(main(sys.argv[1] if len(sys.argv) > 1 else "replay"))

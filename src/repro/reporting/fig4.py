@@ -1,0 +1,67 @@
+"""Figure 4: time spent per multigrid level vs node count (Iso64, 24/32).
+
+Shows the coarsest level's share of the solve growing with node count —
+the log(N) global-synchronization cost of the coarse-grid GCR solver
+(Section 7.2).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..machine import MachineModel, mg_level_specs, mg_time
+from ..workloads import ISO64, SCALED_FOR_PAPER, table3_rows
+from .experiments import measure_dataset, synthetic_level_profile
+from .format import render_series
+
+STRATEGY = "24/32"
+
+
+def compute(mode: str = "replay", n_rhs: int = 2) -> tuple[list[int], dict[str, list[float]]]:
+    model = MachineModel()
+    levels = mg_level_specs(ISO64.dims, ISO64.blockings[64], [24, 32])
+    nodes_list = list(ISO64.node_counts)
+
+    if mode == "measured":
+        meas = measure_dataset(
+            SCALED_FOR_PAPER["Iso64"], strategies=(STRATEGY,), n_rhs=n_rhs
+        )[STRATEGY]
+        iters = meas.mean_iterations
+        stats = meas.mean_level_stats()
+    else:
+        series_stats = {}
+        stats = None
+
+    per_level: dict[str, list[float]] = {f"level {l + 1}": [] for l in range(len(levels))}
+    for nodes in nodes_list:
+        if mode == "replay":
+            prow = [r for r in table3_rows("Iso64", nodes) if r.solver == STRATEGY][0]
+            iters = prow.iterations
+            stats = synthetic_level_profile(iters)
+        st = mg_time(model, levels, nodes, stats, iters)
+        for l in range(len(levels)):
+            per_level[f"level {l + 1}"].append(st.level_seconds.get(l, 0.0))
+    return nodes_list, per_level
+
+
+def render(mode: str = "replay", n_rhs: int = 2) -> str:
+    nodes_list, per_level = compute(mode, n_rhs)
+    fractions = {
+        "coarsest fraction": [
+            per_level["level 3"][i]
+            / max(sum(per_level[k][i] for k in per_level), 1e-30)
+            for i in range(len(nodes_list))
+        ]
+    }
+    out = render_series(
+        "Nodes",
+        nodes_list,
+        per_level,
+        title=f"Figure 4 ({mode}): per-level seconds, Iso64, {STRATEGY} strategy",
+    )
+    out += "\n" + render_series("Nodes", nodes_list, fractions)
+    return out
+
+
+if __name__ == "__main__":
+    print(render(sys.argv[1] if len(sys.argv) > 1 else "replay"))

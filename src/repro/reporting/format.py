@@ -1,0 +1,46 @@
+"""Plain-text table rendering used by all report entry points."""
+
+from __future__ import annotations
+
+
+def render_table(
+    headers: list[str],
+    rows: list[list],
+    title: str | None = None,
+    floatfmt: str = "{:.3g}",
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(c, floatfmt) for c in row] for row in rows]
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in cells)) if cells else len(headers[j])
+        for j in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value, floatfmt: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return floatfmt.format(value)
+    return str(value)
+
+
+def render_series(
+    x_label: str,
+    xs: list,
+    series: dict[str, list[float]],
+    title: str | None = None,
+) -> str:
+    """Render figure data as one row per x value, one column per series."""
+    headers = [x_label] + list(series.keys())
+    rows = [[x] + [series[k][i] for k in series] for i, x in enumerate(xs)]
+    return render_table(headers, rows, title=title, floatfmt="{:.4g}")

@@ -1,0 +1,43 @@
+"""Table 2: chief multigrid parameters per dataset and node count."""
+
+from __future__ import annotations
+
+from ..workloads import PAPER_DATASETS, SCALED_FOR_PAPER
+from .format import render_table
+
+
+def _fmt_block(block: tuple[int, int, int, int]) -> str:
+    return "x".join(map(str, block))
+
+
+def render() -> str:
+    headers = [
+        "Label",
+        "Nodes",
+        "L1 blocking",
+        "L2 blocking",
+        "target residuum",
+        "scaled L1",
+        "scaled L2",
+    ]
+    rows = []
+    for d in PAPER_DATASETS.values():
+        s = SCALED_FOR_PAPER[d.label]
+        for nodes in d.node_counts:
+            b1, b2 = d.blockings[nodes]
+            rows.append(
+                [
+                    d.label,
+                    nodes,
+                    _fmt_block(b1),
+                    _fmt_block(b2),
+                    f"{d.target_residuum:.0e}",
+                    _fmt_block(s.blockings[0]),
+                    _fmt_block(s.blockings[1]),
+                ]
+            )
+    return render_table(headers, rows, title="Table 2: multigrid parameters")
+
+
+if __name__ == "__main__":
+    print(render())

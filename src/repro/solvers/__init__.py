@@ -1,0 +1,40 @@
+"""Krylov solvers: CG/CGNE/CGNR, BiCGStab, MR, flexible GCR, mixed precision."""
+
+from .base import ConvergenceError, OperatorCounter, SolveResult, norm, norm2, vdot
+from .bicgstab import bicgstab
+from .cg import cg, cgne, cgnr
+from .block import batched_gcr, sequential_gcr
+from .chebyshev import ChebyshevSmoother, estimate_lambda_max
+from .eig import condition_estimate, deflated_cg, lanczos_lowest
+from .gcr import GCRSolver, gcr
+from .gmres import ca_gmres, gmres
+from .mixed import PrecisionOperator, mixed_precision_solve
+from .mr import MRSmoother, mr
+
+__all__ = [
+    "ConvergenceError",
+    "OperatorCounter",
+    "SolveResult",
+    "norm",
+    "norm2",
+    "vdot",
+    "bicgstab",
+    "cg",
+    "cgne",
+    "cgnr",
+    "batched_gcr",
+    "ChebyshevSmoother",
+    "estimate_lambda_max",
+    "sequential_gcr",
+    "condition_estimate",
+    "deflated_cg",
+    "lanczos_lowest",
+    "GCRSolver",
+    "gcr",
+    "ca_gmres",
+    "gmres",
+    "PrecisionOperator",
+    "mixed_precision_solve",
+    "MRSmoother",
+    "mr",
+]

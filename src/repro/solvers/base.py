@@ -1,0 +1,70 @@
+"""Common solver infrastructure.
+
+Solvers operate on raw complex ndarrays of any shape (the flattened
+view defines the inner product), against any operator exposing
+``apply(x) -> y``.  Each solve returns a :class:`SolveResult` carrying
+the iteration trace that the benchmark harness and the performance
+models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def vdot(a: np.ndarray, b: np.ndarray) -> complex:
+    """Global inner product (conjugate-linear in the first argument)."""
+    return complex(np.vdot(a.ravel(), b.ravel()))
+
+
+def norm2(a: np.ndarray) -> float:
+    return float(np.real(np.vdot(a.ravel(), a.ravel())))
+
+
+def norm(a: np.ndarray) -> float:
+    return float(np.sqrt(norm2(a)))
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an iterative solve."""
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    final_residual: float  # relative |r| / |b|
+    residual_history: list[float] = field(default_factory=list)
+    matvecs: int = 0
+    inner_iterations: int = 0  # total inner iterations for nested solvers
+    extra: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"SolveResult(converged={self.converged}, iterations={self.iterations}, "
+            f"final_residual={self.final_residual:.3e}, matvecs={self.matvecs})"
+        )
+
+
+class OperatorCounter:
+    """Wrap an operator and count applications (per-level telemetry)."""
+
+    def __init__(self, op):
+        self.op = op
+        self.count = 0
+        self.ns = getattr(op, "ns", None)
+        self.nc = getattr(op, "nc", None)
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        self.count += 1
+        return self.op.apply(v)
+
+    matvec = apply
+
+    def reset(self) -> None:
+        self.count = 0
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when a solver is asked to run in strict mode and stalls."""

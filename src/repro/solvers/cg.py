@@ -1,0 +1,74 @@
+"""Conjugate Gradients and the CGNE/CGNR normal-equation variants.
+
+CG requires a hermitian positive-definite matrix; the non-hermitian
+Wilson-Clover system is handled through the normal equations (paper
+Section 3.3): CGNR solves ``M^dag M x = M^dag b`` and CGNE solves
+``M M^dag y = b, x = M^dag y``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dirac.normal import AdjointOperator, NormalOperator
+from .base import SolveResult, norm, vdot
+
+
+def cg(
+    op,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-8,
+    maxiter: int = 1000,
+) -> SolveResult:
+    """Standard CG on a hermitian positive-definite operator."""
+    x = np.zeros_like(b) if x0 is None else x0.copy()
+    r = b - op.apply(x) if x0 is not None else b.copy()
+    matvecs = 0 if x0 is None else 1
+    bnorm = norm(b)
+    if bnorm == 0.0:
+        return SolveResult(x, True, 0, 0.0, [0.0], matvecs)
+    p = r.copy()
+    rr = vdot(r, r).real
+    history = [np.sqrt(rr) / bnorm]
+    target = tol * bnorm
+    for k in range(1, maxiter + 1):
+        ap = op.apply(p)
+        matvecs += 1
+        alpha = rr / vdot(p, ap).real
+        x += alpha * p
+        r -= alpha * ap
+        rr_new = vdot(r, r).real
+        history.append(np.sqrt(rr_new) / bnorm)
+        if np.sqrt(rr_new) < target:
+            return SolveResult(x, True, k, history[-1], history, matvecs)
+        beta = rr_new / rr
+        p = r + beta * p
+        rr = rr_new
+    return SolveResult(x, False, maxiter, history[-1], history, matvecs)
+
+
+def cgnr(op, b: np.ndarray, **kwargs) -> SolveResult:
+    """CG on ``M^dag M x = M^dag b`` (residual minimized in the M^dag-image)."""
+    normal = NormalOperator(op)
+    adj = AdjointOperator(op)
+    res = cg(normal, adj.apply(b), **kwargs)
+    res.matvecs = 2 * res.matvecs + 1  # each normal-op apply is two matvecs
+    return res
+
+
+def cgne(op, b: np.ndarray, **kwargs) -> SolveResult:
+    """CG on ``M M^dag y = b`` followed by ``x = M^dag y`` (error minimized)."""
+
+    class _MMdag:
+        def __init__(self, inner):
+            self._m = inner
+            self._adj = AdjointOperator(inner)
+
+        def apply(self, v):
+            return self._m.apply(self._adj.apply(v))
+
+    res = cg(_MMdag(op), b, **kwargs)
+    res.x = AdjointOperator(op).apply(res.x)
+    res.matvecs = 2 * res.matvecs + 1
+    return res

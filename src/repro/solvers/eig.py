@@ -1,0 +1,128 @@
+"""Lanczos eigensolver and eigenvector-deflated CG.
+
+Paper Section 3.4: "the problem can be alleviated with
+eigenvector-deflation algorithms, [but] these algorithms scale
+quadratically with the volume owing to the spectral density scaling
+approximately linearly with volume."  This module provides the
+comparator: Lanczos (with full reorthogonalization) on the hermitian
+normal operator, and CG deflated by the computed low modes.  The
+deflation benchmark shows iterations falling with the deflation-space
+size — and the space needed growing with volume, which is multigrid's
+opening.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import SolveResult, norm, vdot
+from .cg import cg
+
+
+def lanczos_lowest(
+    op,
+    shape: tuple[int, ...],
+    n_eigs: int,
+    rng: np.random.Generator,
+    max_steps: int = 300,
+    tol: float = 1e-6,
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Lowest eigenpairs of a hermitian PD operator via Lanczos.
+
+    Full reorthogonalization (the lattice is small); returns
+    ``(eigenvalues, eigenvectors)`` with vectors of the given field
+    ``shape``.
+    """
+    if n_eigs < 1:
+        raise ValueError("need n_eigs >= 1")
+    v = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    v = v.reshape(-1)
+    v /= np.linalg.norm(v)
+    basis = [v]
+    alphas: list[float] = []
+    betas: list[float] = []
+    for step in range(1, max_steps + 1):
+        w = op.apply(basis[-1].reshape(shape)).reshape(-1)
+        alpha = np.real(np.vdot(basis[-1], w))
+        alphas.append(float(alpha))
+        w = w - alpha * basis[-1]
+        if len(basis) > 1:
+            w = w - betas[-1] * basis[-2]
+        # full reorthogonalization
+        for q in basis:
+            w -= np.vdot(q, w) * q
+        beta = np.linalg.norm(w)
+        if step >= max(n_eigs + 2, 10):
+            t = np.diag(alphas) + np.diag(betas, 1) + np.diag(betas, -1)
+            tvals, tvecs = np.linalg.eigh(t)
+            # classic Lanczos residual bound: |A y - theta y| = beta * |s_m|
+            resids = beta * np.abs(tvecs[-1, :n_eigs])
+            if np.all(resids <= tol * np.maximum(np.abs(tvals[:n_eigs]), 1e-30)):
+                break
+        if beta < 1e-14:
+            break
+        betas.append(float(beta))
+        basis.append(w / beta)
+
+    off = betas[: len(alphas) - 1]
+    t = np.diag(alphas) + np.diag(off, 1) + np.diag(off, -1)
+    evals, evecs_t = np.linalg.eigh(t)
+    q = np.stack(basis[: len(alphas)], axis=1)
+    out_vals = evals[:n_eigs]
+    out_vecs = [
+        (q @ evecs_t[:, i]).reshape(shape) for i in range(min(n_eigs, t.shape[0]))
+    ]
+    return out_vals, out_vecs
+
+
+def deflated_cg(
+    op,
+    b: np.ndarray,
+    eigenvalues: np.ndarray,
+    eigenvectors: list[np.ndarray],
+    tol: float = 1e-8,
+    maxiter: int = 2000,
+) -> SolveResult:
+    """Init-CG: the low-mode solution seeds CG on the full system.
+
+    ``x0 = sum_i (v_i^dag b / lambda_i) v_i`` removes the slow
+    components from the initial error; CG then runs on the exact system
+    so the final accuracy does not depend on the eigenvector accuracy
+    (unlike a hard projection).
+    """
+    x0 = np.zeros_like(b)
+    for lam, vec in zip(eigenvalues, eigenvectors):
+        x0 += (vdot(vec, b) / lam) * vec
+    res = cg(op, b, x0=x0, tol=tol, maxiter=maxiter)
+    res.final_residual = norm(b - op.apply(res.x)) / max(norm(b), 1e-300)
+    res.extra["deflated_modes"] = len(eigenvectors)
+    return res
+
+
+def condition_estimate(
+    op, shape: tuple[int, ...], rng: np.random.Generator, steps: int = 100
+) -> float:
+    """Condition-number estimate of a hermitian PD operator via Lanczos."""
+    v = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    v = v.reshape(-1)
+    v /= np.linalg.norm(v)
+    basis = [v]
+    alphas, betas = [], []
+    for _ in range(steps):
+        w = op.apply(basis[-1].reshape(shape)).reshape(-1)
+        alpha = np.real(np.vdot(basis[-1], w))
+        alphas.append(alpha)
+        w -= alpha * basis[-1]
+        if len(basis) > 1:
+            w -= betas[-1] * basis[-2]
+        for q in basis:
+            w -= np.vdot(q, w) * q
+        beta = np.linalg.norm(w)
+        if beta < 1e-14:
+            break
+        betas.append(beta)
+        basis.append(w / beta)
+    off = betas[: len(alphas) - 1]
+    t = np.diag(alphas) + np.diag(off, 1) + np.diag(off, -1)
+    evals = np.linalg.eigvalsh(t)
+    return float(evals[-1] / max(evals[0], 1e-300))

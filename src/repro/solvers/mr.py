@@ -1,0 +1,69 @@
+"""Minimal-residual (MR) relaxation — the multigrid smoother.
+
+The paper's K-cycle uses four pre- and post-applications of MR as the
+smoother on the fine and intermediate levels (Section 7.1).  MR is a
+one-dimensional residual minimization per step,
+
+    x <- x + omega * (<Mr, r> / <Mr, Mr>) r,
+
+with an under-relaxation factor ``omega`` (QUDA's default 0.85) that
+damps the high-frequency error components without touching the near-null
+space — exactly the division of labour multigrid needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import SolveResult, norm, vdot
+
+
+def mr(
+    op,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    tol: float = 0.0,
+    maxiter: int = 4,
+    omega: float = 0.85,
+) -> SolveResult:
+    """MR relaxation; by default runs exactly ``maxiter`` smoothing steps."""
+    x = np.zeros_like(b) if x0 is None else x0.copy()
+    matvecs = 0
+    if x0 is None:
+        r = b.copy()
+    else:
+        r = b - op.apply(x)
+        matvecs += 1
+    bnorm = norm(b)
+    if bnorm == 0.0:
+        return SolveResult(x, True, 0, 0.0, [0.0], matvecs)
+    target = tol * bnorm
+    history = [norm(r) / bnorm]
+    for k in range(1, maxiter + 1):
+        q = op.apply(r)
+        matvecs += 1
+        qq = vdot(q, q).real
+        if qq == 0.0:
+            break
+        alpha = omega * vdot(q, r) / qq
+        x += alpha * r
+        r -= alpha * q
+        rnorm = norm(r)
+        history.append(rnorm / bnorm)
+        if tol > 0.0 and rnorm < target:
+            return SolveResult(x, True, k, history[-1], history, matvecs)
+    converged = tol > 0.0 and history[-1] * bnorm < target
+    return SolveResult(x, converged, maxiter, history[-1], history, matvecs)
+
+
+class MRSmoother:
+    """A fixed-iteration MR smoother bound to an operator (preconditioner form)."""
+
+    def __init__(self, op, steps: int = 4, omega: float = 0.85):
+        self.op = op
+        self.steps = steps
+        self.omega = omega
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """Approximately solve ``M z = r`` from a zero initial guess."""
+        return mr(self.op, r, maxiter=self.steps, omega=self.omega).x

@@ -1,0 +1,5 @@
+"""Inter-grid transfer: chirality-preserving aggregation, P and R = P^dag."""
+
+from .transfer import Transfer
+
+__all__ = ["Transfer"]

@@ -1,0 +1,129 @@
+"""Chirality-preserving aggregation transfer operators (paper Section 3.4).
+
+The prolongator ``P`` is built from ``Nc_hat`` near-null-space vectors
+of the fine operator: the vectors are partitioned into disjoint
+hypercubic aggregates, split by chirality (upper / lower spin blocks,
+footnote 1), and block-orthonormalized with a QR decomposition per
+(aggregate x chirality).  The restrictor is ``R = P^dagger``, which the
+chirality split makes legitimate (a vector rich in right low modes is
+also rich in left low modes).
+
+The coarse grid consequently carries ``Ns_hat = 2`` spin (chirality)
+components and ``Nc_hat`` colors per site.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fields import SpinorField
+from ..lattice import Blocking
+from ..dirac.gamma import chirality_slices_for
+
+
+class Transfer:
+    """Prolongation/restriction between a fine level and its blocked coarse level.
+
+    Parameters
+    ----------
+    blocking:
+        The hypercubic aggregation geometry.
+    null_vectors:
+        ``Nc_hat`` fine-grid fields of shape ``(V_f, ns_f, nc_f)`` that
+        span the near-null space.
+    """
+
+    def __init__(self, blocking: Blocking, null_vectors: list[np.ndarray]):
+        if not null_vectors:
+            raise ValueError("need at least one null vector")
+        first = null_vectors[0]
+        if first.ndim != 3 or first.shape[0] != blocking.fine.volume:
+            raise ValueError(
+                f"null vectors must have shape (V_fine, ns, nc), got {first.shape}"
+            )
+        self.blocking = blocking
+        self.fine_lattice = blocking.fine
+        self.coarse_lattice = blocking.coarse
+        self.fine_ns = first.shape[1]
+        self.fine_nc = first.shape[2]
+        self.coarse_nc = len(null_vectors)
+        self.coarse_ns = 2
+
+        if self.fine_ns % 2:
+            raise ValueError(f"fine ns must be even for a chirality split, got {self.fine_ns}")
+        rows = blocking.block_volume * (self.fine_ns // 2) * self.fine_nc
+        if rows < self.coarse_nc:
+            raise ValueError(
+                f"aggregate dof ({rows}) smaller than number of null vectors "
+                f"({self.coarse_nc}); enlarge the blocks or use fewer vectors"
+            )
+
+        stack = np.stack(null_vectors, axis=-1)  # (V_f, ns, nc, Nc_hat)
+        vc = self.coarse_lattice.volume
+        basis = np.empty((vc, 2, rows, self.coarse_nc), dtype=np.complex128)
+        for chi, sl in enumerate(chirality_slices_for(self.fine_ns)):
+            chi_part = stack[:, sl, :, :]  # (V_f, ns/2, nc, Nc_hat)
+            gathered = chi_part[blocking.agg_sites]  # (Vc, bv, ns/2, nc, Nc_hat)
+            mat = gathered.reshape(vc, rows, self.coarse_nc)
+            q, r = np.linalg.qr(mat)
+            diag = np.abs(np.einsum("vkk->vk", r))
+            if np.any(diag < 1e-12 * np.sqrt(rows)):
+                raise ValueError(
+                    "null vectors are linearly dependent within an aggregate; "
+                    "regenerate with different random seeds"
+                )
+            basis[:, chi] = q
+        # basis rows are ordered (block site, spin-in-chirality, color)
+        self._basis = basis
+        self._rows = rows
+
+    # ------------------------------------------------------------------
+    def restrict(self, fine: np.ndarray) -> np.ndarray:
+        """``R v = P^dag v``: fine ``(V_f, ns, nc)`` -> coarse ``(V_c, 2, Nc_hat)``."""
+        vc = self.coarse_lattice.volume
+        out = np.empty((vc, 2, self.coarse_nc), dtype=np.complex128)
+        agg = self.blocking.agg_sites
+        for chi, sl in enumerate(chirality_slices_for(self.fine_ns)):
+            x = fine[:, sl, :][agg].reshape(vc, self._rows, 1)
+            out[:, chi, :] = np.matmul(
+                np.conj(np.swapaxes(self._basis[:, chi], -1, -2)), x
+            )[..., 0]
+        return out
+
+    def prolong(self, coarse: np.ndarray) -> np.ndarray:
+        """``P v``: coarse ``(V_c, 2, Nc_hat)`` -> fine ``(V_f, ns, nc)``."""
+        vf = self.fine_lattice.volume
+        out = np.zeros((vf, self.fine_ns, self.fine_nc), dtype=np.complex128)
+        agg = self.blocking.agg_sites
+        bv = self.blocking.block_volume
+        nsb = self.fine_ns // 2
+        for chi, sl in enumerate(chirality_slices_for(self.fine_ns)):
+            x = np.matmul(self._basis[:, chi], coarse[:, chi, :, None])[..., 0]
+            out[agg.ravel(), sl, :] = x.reshape(
+                self.coarse_lattice.volume * bv, nsb, self.fine_nc
+            )
+        return out
+
+    # -- SpinorField conveniences ----------------------------------------
+    def restrict_field(self, v: SpinorField) -> SpinorField:
+        return SpinorField(self.coarse_lattice, self.restrict(v.data))
+
+    def prolong_field(self, v: SpinorField) -> SpinorField:
+        return SpinorField(self.fine_lattice, self.prolong(v.data))
+
+    # ------------------------------------------------------------------
+    def orthonormality_violation(self) -> float:
+        """Max deviation of ``P^dag P`` from the identity (should be ~eps)."""
+        worst = 0.0
+        eye = np.eye(self.coarse_nc)
+        for chi in range(2):
+            q = self._basis[:, chi]
+            g = np.einsum("vrj,vrk->vjk", np.conj(q), q)
+            worst = max(worst, float(np.abs(g - eye).max()))
+        return worst
+
+    def __repr__(self) -> str:
+        return (
+            f"Transfer({self.blocking!r}, ns {self.fine_ns}->2, "
+            f"nc {self.fine_nc}->{self.coarse_nc})"
+        )

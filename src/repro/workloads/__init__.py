@@ -1,0 +1,43 @@
+"""Workloads: paper datasets (Table 1/2), scaled stand-ins, propagators."""
+
+from .datasets import (
+    ANISO40,
+    ANISO40_SCALED,
+    ISO48,
+    ISO48_SCALED,
+    ISO64,
+    ISO64_SCALED,
+    PAPER_DATASETS,
+    SCALED_DATASETS,
+    SCALED_FOR_PAPER,
+    PaperDataset,
+    ScaledDataset,
+)
+from .paper_reference import FIG2_ANCHORS, POWER_WATTS, TABLE3, PaperRow, table3_rows
+from .presets import PAPER_STRATEGIES, mg_params_for, strategy_nulls, two_level_params
+from .propagator import PropagatorResult, run_propagator
+
+__all__ = [
+    "ANISO40",
+    "ANISO40_SCALED",
+    "ISO48",
+    "ISO48_SCALED",
+    "ISO64",
+    "ISO64_SCALED",
+    "PAPER_DATASETS",
+    "SCALED_DATASETS",
+    "SCALED_FOR_PAPER",
+    "PaperDataset",
+    "ScaledDataset",
+    "FIG2_ANCHORS",
+    "POWER_WATTS",
+    "TABLE3",
+    "PaperRow",
+    "table3_rows",
+    "PAPER_STRATEGIES",
+    "mg_params_for",
+    "strategy_nulls",
+    "two_level_params",
+    "PropagatorResult",
+    "run_propagator",
+]

@@ -1,0 +1,88 @@
+"""The paper's reported numbers (Tables 1-3), for side-by-side comparison.
+
+Values transcribed from the SC 2016 paper; means with standard
+deviations in parentheses there.  These are *reference data only* —
+nothing in the reproduction pipeline depends on them except the
+"paper" columns of the report output and the replay-mode validation of
+the machine model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One (dataset, nodes, solver-strategy) row of Table 3."""
+
+    dataset: str
+    nodes: int
+    solver: str  # "BiCGStab" or "24/24" / "24/32" / "32/32"
+    iterations: float
+    iterations_std: float
+    time_s: float
+    time_std: float
+    error_over_residual: float
+    cost_node_s: float
+    speedup: float | None = None
+    speedup_std: float | None = None
+
+
+TABLE3 = [
+    # Aniso40
+    PaperRow("Aniso40", 20, "BiCGStab", 1771, 86, 22.6, 1.9, 137, 452),
+    PaperRow("Aniso40", 20, "24/24", 15.3, 0.5, 2.9, 0.1, 42.9, 58.0, 7.7, 0.6),
+    PaperRow("Aniso40", 20, "24/32", 14.2, 0.4, 2.9, 0.1, 30.2, 58.0, 7.9, 0.7),
+    PaperRow("Aniso40", 32, "BiCGStab", 1817, 139, 11.8, 0.9, 134, 338),
+    PaperRow("Aniso40", 32, "24/24", 17.6, 0.5, 2.01, 0.04, 36.6, 64.3, 5.5, 1.2),
+    PaperRow("Aniso40", 32, "24/32", 17.9, 0.3, 1.95, 0.07, 43.8, 62.4, 6.0, 0.5),
+    PaperRow("Aniso40", 32, "32/32", 14.0, 0.0, 2.09, 0.03, 26.1, 66.9, 5.6, 0.5),
+    # Iso48
+    PaperRow("Iso48", 24, "BiCGStab", 3402, 132, 20.4, 1.3, 110, 490),
+    PaperRow("Iso48", 24, "24/24", 17.4, 0.5, 3.84, 0.13, 24.9, 92.2, 5.3, 0.2),
+    PaperRow("Iso48", 24, "24/32", 17.3, 0.5, 3.12, 0.10, 26.8, 74.9, 6.6, 0.5),
+    PaperRow("Iso48", 24, "32/32", 14.0, 0.0, 4.16, 0.13, 25.1, 99.8, 5.1, 0.4),
+    PaperRow("Iso48", 48, "BiCGStab", 3522, 245, 14.4, 1.0, 99.8, 691),
+    PaperRow("Iso48", 48, "24/24", 17.2, 0.4, 2.23, 0.05, 25.6, 107, 6.3, 0.4),
+    PaperRow("Iso48", 48, "24/32", 17.0, 0.0, 2.36, 0.07, 25.1, 113, 6.1, 0.4),
+    PaperRow("Iso48", 48, "32/32", 14.0, 0.0, 2.84, 0.07, 25.9, 136, 5.1, 0.4),
+    # Iso64
+    PaperRow("Iso64", 64, "BiCGStab", 2805, 159, 22.2, 1.7, 210, 1421),
+    PaperRow("Iso64", 64, "24/24", 17.4, 0.5, 4.11, 0.15, 29.9, 263, 5.4, 0.4),
+    PaperRow("Iso64", 64, "24/32", 17.0, 0.0, 4.48, 0.96, 25.7, 287, 5.1, 0.8),
+    PaperRow("Iso64", 64, "32/32", 14.0, 0.0, 4.63, 0.15, 31.4, 296, 4.8, 0.3),
+    PaperRow("Iso64", 128, "BiCGStab", 2807, 171, 30.7, 2.4, 199, 3930),
+    PaperRow("Iso64", 128, "24/24", 18.0, 0.0, 3.01, 0.06, 33.6, 385, 10.2, 0.7),
+    PaperRow("Iso64", 128, "24/32", 16.7, 0.5, 3.05, 0.07, 24.7, 390, 10.1, 0.6),
+    PaperRow("Iso64", 128, "32/32", 14.0, 0.0, 3.46, 0.05, 31.8, 443, 8.9, 0.6),
+    PaperRow("Iso64", 256, "BiCGStab", 2885, 171, 22.5, 1.8, 191, 5760),
+    PaperRow("Iso64", 256, "24/24", 18.0, 0.0, 2.36, 0.07, 32.0, 604, 9.5, 0.8),
+    PaperRow("Iso64", 256, "24/32", 16.4, 0.5, 2.12, 0.08, 24.5, 543, 10.6, 0.8),
+    PaperRow("Iso64", 256, "32/32", 14.0, 0.0, 2.37, 0.06, 32.1, 607, 9.5, 0.7),
+    PaperRow("Iso64", 512, "BiCGStab", 2940, 269, 12.3, 0.7, 198, 6298),
+    PaperRow("Iso64", 512, "24/24", 17.9, 0.3, 1.73, 0.08, 33.2, 886, 7.1, 0.4),
+    PaperRow("Iso64", 512, "24/32", 17.0, 0.0, 1.97, 0.10, 25.8, 1009, 6.3, 0.3),
+    PaperRow("Iso64", 512, "32/32", 13.7, 0.5, 1.93, 0.13, 33.4, 988, 6.4, 0.2),
+]
+
+
+def table3_rows(dataset: str | None = None, nodes: int | None = None) -> list[PaperRow]:
+    out = TABLE3
+    if dataset is not None:
+        out = [r for r in out if r.dataset == dataset]
+    if nodes is not None:
+        out = [r for r in out if r.nodes == nodes]
+    return out
+
+
+# Section 7.2 power measurements (Iso48, 48 nodes, node 0)
+POWER_WATTS = {"Multigrid": 72.0, "BiCGStab": 83.0}
+
+# Figure 2 anchor points the model was calibrated against
+FIG2_ANCHORS = {
+    "plateau_gflops": 140.0,
+    "plateau_stream_fraction": 0.80,
+    "speedup_2to4_nc32": 100.0,
+    "wilson_clover_gflops": 400.0,
+}

@@ -1,0 +1,95 @@
+"""The propagator workload: 12 independent solves per configuration.
+
+The paper's methodology (Section 7.1): compute a "propagator" — one
+solve per fine-grid spin-color component of a point source — average
+the wallclock over the last 11 solves (the first pays autotuning), and
+estimate the solver error with the double-solve strategy of Osborn et
+al. [17]: re-solve to much tighter tolerance and measure the error of
+the production solution against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..fields import SpinorField
+from ..solvers.base import SolveResult, norm
+
+
+@dataclass
+class PropagatorResult:
+    """Aggregated statistics over the 12 solves."""
+
+    iterations: list[float] = field(default_factory=list)
+    times_s: list[float] = field(default_factory=list)
+    error_over_residual: list[float] = field(default_factory=list)
+    level_stats: list[dict] = field(default_factory=list)
+
+    def mean_iterations(self) -> float:
+        return float(np.mean(self.iterations))
+
+    def std_iterations(self) -> float:
+        return float(np.std(self.iterations))
+
+    def mean_error_over_residual(self) -> float:
+        return float(np.mean(self.error_over_residual))
+
+    def mean_level_stats(self) -> dict[int, dict]:
+        """Per-solve average of the per-level work counters."""
+        if not self.level_stats:
+            return {}
+        keys = self.level_stats[0].keys()
+        out: dict[int, dict] = {}
+        for lvl in keys:
+            fields = self.level_stats[0][lvl].keys()
+            out[int(lvl)] = {
+                f: float(np.mean([s[lvl][f] for s in self.level_stats]))
+                for f in fields
+            }
+        return out
+
+
+def run_propagator(
+    solve,
+    lattice,
+    op,
+    source_site: int = 0,
+    n_components: int = 12,
+    error_check_factor: float = 1e-3,
+    rng: np.random.Generator | None = None,
+) -> PropagatorResult:
+    """Run the 12-component propagator workload.
+
+    Parameters
+    ----------
+    solve:
+        Callable ``solve(b) -> SolveResult`` at the production tolerance.
+    op:
+        The fine operator (used to verify residuals and for the
+        double-solve error estimate).
+    error_check_factor:
+        The double solve runs at ``tol * error_check_factor``.
+    """
+    import time
+
+    result = PropagatorResult()
+    for spin in range(4):
+        for color in range(3):
+            if len(result.iterations) >= n_components:
+                break
+            b = SpinorField.point_source(lattice, source_site, spin, color)
+            t0 = time.perf_counter()
+            res: SolveResult = solve(b.data)
+            dt = time.perf_counter() - t0
+            result.iterations.append(res.iterations)
+            result.times_s.append(dt)
+            if "level_stats" in res.extra:
+                result.level_stats.append(res.extra["level_stats"])
+            # double-solve error estimate: continue to much tighter tol
+            tight = solve(b.data, tol_override=res.final_residual * error_check_factor)
+            err = norm(res.x - tight.x) / max(norm(tight.x), 1e-300)
+            rel_resid = max(res.final_residual, 1e-300)
+            result.error_over_residual.append(err / rel_resid)
+    return result

@@ -1,0 +1,83 @@
+"""Shared fixtures.
+
+Expensive objects (gauge fields, operators, multigrid hierarchies) are
+session-scoped: tests treat them as immutable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dirac import WilsonCloverOperator
+from repro.gauge import disordered_field, free_field
+from repro.lattice import Blocking, Lattice
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20160612)
+
+
+@pytest.fixture(scope="session")
+def lat44():
+    """A 4^4 lattice."""
+    return Lattice((4, 4, 4, 4))
+
+
+@pytest.fixture(scope="session")
+def lat448():
+    """A 4x4x4x8 lattice (distinct extents expose index-order bugs)."""
+    return Lattice((4, 4, 4, 8))
+
+
+@pytest.fixture(scope="session")
+def lat2():
+    """The minimal 2^4 lattice (dense-matrix territory)."""
+    return Lattice((2, 2, 2, 2))
+
+
+@pytest.fixture(scope="session")
+def gauge44(lat44):
+    return disordered_field(lat44, np.random.default_rng(7), 0.5)
+
+
+@pytest.fixture(scope="session")
+def gauge448(lat448):
+    return disordered_field(lat448, np.random.default_rng(8), 0.5, smear_steps=1)
+
+
+@pytest.fixture(scope="session")
+def gauge2(lat2):
+    return disordered_field(lat2, np.random.default_rng(9), 0.4)
+
+
+@pytest.fixture(scope="session")
+def wilson44(gauge44):
+    return WilsonCloverOperator(gauge44, mass=-0.2, c_sw=1.0)
+
+
+@pytest.fixture(scope="session")
+def wilson448(gauge448):
+    return WilsonCloverOperator(gauge448, mass=-0.3, c_sw=1.0)
+
+
+@pytest.fixture(scope="session")
+def wilson2(gauge2):
+    return WilsonCloverOperator(gauge2, mass=0.1, c_sw=1.0)
+
+
+@pytest.fixture(scope="session")
+def blocking44(lat44):
+    return Blocking(lat44, (2, 2, 2, 2))
+
+
+def random_spinor(lattice, ns=4, nc=3, seed=0):
+    r = np.random.default_rng(seed)
+    shape = (lattice.volume, ns, nc)
+    return r.standard_normal(shape) + 1j * r.standard_normal(shape)
+
+
+@pytest.fixture(scope="session")
+def spinor44(lat44):
+    return random_spinor(lat44, seed=1)

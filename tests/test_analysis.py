@@ -1,0 +1,124 @@
+"""Hadron correlators and propagator contractions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    effective_mass,
+    fold_correlator,
+    meson_correlator,
+    pion_correlator,
+    point_propagator,
+)
+from repro.dirac import SchurOperator, WilsonCloverOperator, gamma_matrices
+from repro.gauge import free_field
+from repro.lattice import Lattice
+from repro.solvers import bicgstab
+
+
+@pytest.fixture(scope="module")
+def free_system():
+    lat = Lattice((4, 4, 4, 8))
+    op = WilsonCloverOperator(free_field(lat), mass=0.5, c_sw=0.0)
+    schur = SchurOperator(op, 0)
+
+    def solve(b, tol_override=None):
+        res = bicgstab(schur, schur.prepare_source(b), tol=tol_override or 1e-10,
+                       maxiter=5000)
+        assert res.converged
+        res.x = schur.reconstruct(res.x, b)
+        return res
+
+    prop = point_propagator(solve, lat)
+    return lat, op, prop
+
+
+class TestPropagator:
+    def test_shape(self, free_system):
+        lat, _, prop = free_system
+        assert prop.shape == (lat.volume, 4, 3, 4, 3)
+
+    def test_satisfies_dirac_equation(self, free_system):
+        lat, op, prop = free_system
+        # M S = delta: check one source column
+        col = np.ascontiguousarray(prop[:, :, :, 0, 0])
+        out = op.apply(col)
+        expect = np.zeros_like(col)
+        expect[0, 0, 0] = 1.0
+        np.testing.assert_allclose(out, expect, atol=1e-8)
+
+    def test_color_diagonal_on_free_field(self, free_system):
+        # without gauge fields, the propagator is proportional to
+        # delta_{c c'} in color
+        _, _, prop = free_system
+        off = prop[:, :, 0, :, 1]
+        assert np.abs(off).max() < 1e-8
+
+
+class TestPionCorrelator:
+    def test_positive(self, free_system):
+        lat, _, prop = free_system
+        corr = pion_correlator(prop, lat)
+        assert np.all(corr > 0)
+
+    def test_matches_general_contraction(self, free_system):
+        # the |S|^2 identity: C_pion == general contraction with G = g5
+        lat, _, prop = free_system
+        fast = pion_correlator(prop, lat)
+        general = meson_correlator(prop, lat)
+        np.testing.assert_allclose(general.imag, 0, atol=1e-8)
+        np.testing.assert_allclose(general.real, fast, rtol=1e-8)
+
+    def test_time_reflection_symmetry(self, free_system):
+        # antiperiodic-in-time point source at t=0: C(t) = C(T-t)
+        lat, _, prop = free_system
+        corr = pion_correlator(prop, lat)
+        lt = lat.dims[3]
+        for t in range(1, lt // 2):
+            assert corr[t] == pytest.approx(corr[lt - t], rel=1e-6)
+
+    def test_decays_from_source(self, free_system):
+        lat, _, prop = free_system
+        corr = pion_correlator(prop, lat)
+        assert corr[0] > corr[1] > corr[2] > corr[lat.dims[3] // 2]
+
+
+class TestDerivedQuantities:
+    def test_fold(self, free_system):
+        lat, _, prop = free_system
+        corr = pion_correlator(prop, lat)
+        folded = fold_correlator(corr)
+        assert len(folded) == lat.dims[3] // 2 + 1
+        assert folded[1] == pytest.approx(0.5 * (corr[1] + corr[-1]))
+
+    def test_effective_mass_positive_and_flattens(self, free_system):
+        lat, _, prop = free_system
+        corr = pion_correlator(prop, lat)
+        meff = effective_mass(fold_correlator(corr), cosh=False)
+        assert np.all(meff[: lat.dims[3] // 4] > 0)
+
+    def test_heavier_quark_heavier_meson(self):
+        lat = Lattice((4, 4, 4, 8))
+        masses = []
+        for mq in (0.3, 0.8):
+            op = WilsonCloverOperator(free_field(lat), mass=mq, c_sw=0.0)
+            schur = SchurOperator(op, 0)
+
+            def solve(b, tol_override=None):
+                r = bicgstab(schur, schur.prepare_source(b),
+                             tol=tol_override or 1e-10, maxiter=5000)
+                r.x = schur.reconstruct(r.x, b)
+                return r
+
+            prop = point_propagator(solve, lat)
+            corr = pion_correlator(prop, lat)
+            meff = effective_mass(fold_correlator(corr), cosh=False)
+            masses.append(meff[1])
+        assert masses[1] > masses[0]
+
+    def test_vector_channel_differs_from_pion(self, free_system):
+        lat, _, prop = free_system
+        g = gamma_matrices()
+        rho = meson_correlator(prop, lat, gamma_sink=g[0], gamma_source=g[0])
+        pion = pion_correlator(prop, lat)
+        assert not np.allclose(np.abs(rho), pion)

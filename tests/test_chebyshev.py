@@ -1,0 +1,80 @@
+"""Chebyshev polynomial smoother."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import gcr, norm
+from repro.solvers.chebyshev import ChebyshevSmoother, estimate_lambda_max
+from tests.conftest import random_spinor
+
+
+@pytest.fixture(scope="module")
+def smoother(wilson448):
+    return ChebyshevSmoother(wilson448, degree=4, rng=np.random.default_rng(0))
+
+
+class TestSpectralEstimate:
+    def test_lambda_max_bounds_spectrum(self, wilson448, lat448, smoother):
+        # Rayleigh quotients of the normal operator must sit below it
+        from repro.dirac import NormalOperator
+
+        nop = NormalOperator(wilson448)
+        for seed in (1, 2, 3):
+            v = random_spinor(lat448, seed=seed)
+            ray = np.real(np.vdot(v.ravel(), nop.apply(v).ravel())) / np.real(
+                np.vdot(v.ravel(), v.ravel())
+            )
+            assert ray < smoother.lambda_max
+
+    def test_estimate_close_to_power_limit(self, wilson448, lat448):
+        from repro.dirac import NormalOperator
+
+        class _N:
+            def __init__(self, op):
+                self.op = op
+
+            def apply(self, v):
+                return self.op.apply(v)
+
+        nop = _N(NormalOperator(wilson448))
+        a = estimate_lambda_max(nop, (lat448.volume, 4, 3), np.random.default_rng(4))
+        b = estimate_lambda_max(nop, (lat448.volume, 4, 3), np.random.default_rng(5))
+        assert a == pytest.approx(b, rel=0.1)
+
+
+class TestSmoothing:
+    def test_reduces_residual(self, wilson448, lat448, smoother):
+        r = random_spinor(lat448, seed=10)
+        z = smoother.apply(r)
+        assert norm(r - wilson448.apply(z)) < norm(r)
+
+    def test_higher_degree_smooths_more(self, wilson448, lat448):
+        r = random_spinor(lat448, seed=11)
+        resids = []
+        for degree in (2, 6):
+            s = ChebyshevSmoother(wilson448, degree=degree, rng=np.random.default_rng(0))
+            z = s.apply(r)
+            resids.append(norm(r - wilson448.apply(z)))
+        assert resids[1] < resids[0]
+
+    def test_accelerates_gcr(self, wilson448, lat448, smoother):
+        b = random_spinor(lat448, seed=12)
+        plain = gcr(wilson448, b, tol=1e-8, maxiter=3000)
+        pre = gcr(wilson448, b, tol=1e-8, maxiter=3000, preconditioner=smoother)
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    def test_invalid_parameters(self, wilson448):
+        with pytest.raises(ValueError):
+            ChebyshevSmoother(wilson448, degree=0)
+        with pytest.raises(ValueError):
+            ChebyshevSmoother(wilson448, degree=2, theta=0.5)
+
+    def test_apply_is_linear(self, wilson448, lat448, smoother):
+        # a fixed polynomial is a *linear* preconditioner (unlike MR),
+        # so it is safe even inside non-flexible outer solvers
+        a = random_spinor(lat448, seed=13)
+        b = random_spinor(lat448, seed=14)
+        lhs = smoother.apply(2.0 * a + 1j * b)
+        rhs = 2.0 * smoother.apply(a) + 1j * smoother.apply(b)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10)

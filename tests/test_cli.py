@@ -1,0 +1,39 @@
+"""The command-line entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Aniso40" in out and "Iso64" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "5x5x2x8" in capsys.readouterr().out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "baseline (Nc=24)" in capsys.readouterr().out
+
+    def test_table3_replay(self, capsys):
+        assert main(["table3", "--mode", "replay"]) == 0
+        out = capsys.readouterr().out
+        assert "BiCGStab" in out and "24/32" in out
+
+    def test_fig4_replay(self, capsys):
+        assert main(["fig4"]) == 0
+        assert "coarsest fraction" in capsys.readouterr().out
+
+    def test_bad_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig9"])
+
+    def test_out_dir_writes_files(self, tmp_path, capsys):
+        assert main(["table1", "--out", str(tmp_path / "artifacts")]) == 0
+        f = tmp_path / "artifacts" / "table1.txt"
+        assert f.exists()
+        assert "Aniso40" in f.read_text()

@@ -1,0 +1,85 @@
+"""The Sheikholeslami-Wohlert clover term."""
+
+import numpy as np
+import pytest
+
+from repro.dirac import CloverTerm, WilsonCloverOperator
+from repro.dirac.gamma import chirality_slices
+from repro.gauge import free_field, random_su3
+from repro.lattice import Lattice
+from tests.conftest import random_spinor
+from tests.test_gauge_loops import gauge_transform
+
+
+@pytest.fixture(scope="module")
+def clover(gauge44):
+    return CloverTerm.from_gauge(gauge44, c_sw=1.0)
+
+
+class TestStructure:
+    def test_blocks_shape(self, clover, lat44):
+        assert clover.blocks.shape == (lat44.volume, 2, 6, 6)
+
+    def test_hermitian(self, clover):
+        assert clover.hermiticity_violation() < 1e-13
+
+    def test_zero_constructor(self):
+        c = CloverTerm.zero(16)
+        assert np.abs(c.blocks).max() == 0.0
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            CloverTerm(np.zeros((4, 2, 5, 5), dtype=complex))
+
+    def test_nonzero_on_rough_field(self, clover):
+        assert np.abs(clover.blocks).max() > 1e-3
+
+    def test_csw_scales_linearly(self, gauge44):
+        c1 = CloverTerm.from_gauge(gauge44, c_sw=1.0)
+        c2 = CloverTerm.from_gauge(gauge44, c_sw=2.0)
+        np.testing.assert_allclose(c2.blocks, 2 * c1.blocks, atol=1e-13)
+
+    def test_free_field_zero(self, lat44):
+        c = CloverTerm.from_gauge(free_field(lat44), c_sw=1.0)
+        assert np.abs(c.blocks).max() < 1e-14
+
+
+class TestApply:
+    def test_chirality_preserved(self, clover, lat44):
+        up, down = chirality_slices()
+        v = random_spinor(lat44, seed=30)
+        v[:, down, :] = 0  # pure upper chirality
+        out = clover.apply(v)
+        assert np.abs(out[:, down, :]).max() < 1e-14
+
+    def test_apply_hermitian(self, clover, lat44):
+        v = random_spinor(lat44, seed=31)
+        w = random_spinor(lat44, seed=32)
+        lhs = np.vdot(w.ravel(), clover.apply(v).ravel())
+        rhs = np.conj(np.vdot(v.ravel(), clover.apply(w).ravel()))
+        assert abs(lhs - rhs) < 1e-10 * max(abs(lhs), 1)
+
+    def test_shifted_adds_identity(self, clover, lat44):
+        v = random_spinor(lat44, seed=33)
+        shifted = CloverTerm(clover.shifted(2.5))
+        np.testing.assert_allclose(
+            shifted.apply(v), clover.apply(v) + 2.5 * v, atol=1e-12
+        )
+
+    def test_gauge_covariance(self, gauge44, lat44):
+        g = random_su3(np.random.default_rng(55), lat44.volume)
+        v = random_spinor(lat44, seed=34)
+        c = CloverTerm.from_gauge(gauge44, c_sw=1.0)
+        cg = CloverTerm.from_gauge(gauge_transform(gauge44, g), c_sw=1.0)
+        gv = np.einsum("xab,xsb->xsa", g, v)
+        lhs = cg.apply(gv)
+        rhs = np.einsum("xab,xsb->xsa", g, c.apply(v))
+        np.testing.assert_allclose(lhs, rhs, atol=1e-11)
+
+
+class TestInOperator:
+    def test_operator_diag_includes_clover(self, gauge44, lat44):
+        op = WilsonCloverOperator(gauge44, mass=0.2, c_sw=1.3)
+        v = random_spinor(lat44, seed=35)
+        expect = (4 + 0.2) * v + op.clover.apply(v)
+        np.testing.assert_allclose(op.apply_diag(v), expect, atol=1e-12)

@@ -1,0 +1,75 @@
+"""Gauge-link compression: 18 -> 12 -> 8 real numbers, exact reconstruction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gauge import (
+    compress8,
+    compress12,
+    compression_reals,
+    random_su3,
+    reconstruct8,
+    reconstruct12,
+)
+
+
+class TestRecon12:
+    @given(st.integers(0, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_exact_roundtrip(self, seed):
+        u = random_su3(np.random.default_rng(seed), 8)
+        rt = reconstruct12(compress12(u))
+        assert np.abs(rt - u).max() < 1e-13
+
+    def test_storage_shape(self):
+        u = random_su3(np.random.default_rng(0), 5)
+        c = compress12(u)
+        assert c.shape == (5, 2, 3)
+        # 2 rows x 3 columns x 2 reals = 12 reals
+
+    def test_batched_shapes(self):
+        u = random_su3(np.random.default_rng(1), 12).reshape(3, 4, 3, 3)
+        rt = reconstruct12(compress12(u))
+        assert rt.shape == u.shape
+        assert np.abs(rt - u).max() < 1e-13
+
+
+class TestRecon8:
+    @given(st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_exact_roundtrip(self, seed):
+        u = random_su3(np.random.default_rng(seed), 8)
+        rt = reconstruct8(compress8(u))
+        assert np.abs(rt - u).max() < 1e-10
+
+    def test_storage_is_eight_reals(self):
+        u = random_su3(np.random.default_rng(2), 5)
+        c = compress8(u)
+        assert c.shape == (5, 8)
+        assert c.dtype == np.float64
+
+    def test_identity_compresses_to_zero(self):
+        eye = np.broadcast_to(np.eye(3, dtype=complex), (2, 3, 3)).copy()
+        c = compress8(eye)
+        assert np.abs(c).max() < 1e-12
+
+    def test_reconstruct_is_su3(self):
+        rng = np.random.default_rng(3)
+        coeffs = rng.standard_normal((10, 8))
+        u = reconstruct8(coeffs)
+        eye = np.eye(3)
+        assert np.abs(u @ np.conj(np.swapaxes(u, -1, -2)) - eye).max() < 1e-12
+        assert np.abs(np.linalg.det(u) - 1).max() < 1e-12
+
+
+class TestRealCounts:
+    def test_valid_levels(self):
+        assert compression_reals(18) == 18
+        assert compression_reals(12) == 12
+        assert compression_reals(8) == 8
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            compression_reals(9)

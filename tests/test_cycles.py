@@ -1,0 +1,66 @@
+"""Multigrid cycle types: K (paper), V, W."""
+
+import numpy as np
+import pytest
+
+from repro.dirac import WilsonCloverOperator
+from repro.gauge import disordered_field
+from repro.lattice import Lattice
+from repro.mg import LevelParams, MGParams, MultigridSolver
+from repro.solvers import norm
+from tests.conftest import random_spinor
+
+
+@pytest.fixture(scope="module")
+def op3():
+    lat = Lattice((4, 4, 4, 8))
+    u = disordered_field(lat, np.random.default_rng(11), 0.55, smear_steps=1)
+    return WilsonCloverOperator(u, mass=-1.406 + 0.03, c_sw=1.0)
+
+
+def make_solver(op, cycle):
+    params = MGParams(
+        levels=[
+            LevelParams(block=(2, 2, 2, 2), n_null=6, null_iters=40),
+            LevelParams(block=(1, 1, 1, 2), n_null=4, null_iters=30),
+        ],
+        outer_tol=1e-8,
+        cycle_type=cycle,
+    )
+    return MultigridSolver(op, params, np.random.default_rng(5))
+
+
+class TestCycleTypes:
+    @pytest.mark.parametrize("cycle", ["K", "V", "W"])
+    def test_all_cycles_converge(self, op3, cycle):
+        mgs = make_solver(op3, cycle)
+        b = random_spinor(op3.lattice, seed=700)
+        res = mgs.solve(b)
+        assert res.converged, cycle
+        assert norm(b - op3.apply(res.x)) / norm(b) < 2e-8
+
+    def test_bad_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            MGParams(levels=[], cycle_type="X")
+
+    def test_k_cycle_needs_fewest_outer_iterations(self, op3):
+        b = random_spinor(op3.lattice, seed=701)
+        iters = {}
+        for cycle in ("K", "V"):
+            iters[cycle] = make_solver(op3, cycle).solve(b).iterations
+        # the K-cycle's inner Krylov acceleration is at least as strong
+        assert iters["K"] <= iters["V"]
+
+    def test_w_cycle_at_least_as_strong_as_v(self, op3):
+        b = random_spinor(op3.lattice, seed=702)
+        v = make_solver(op3, "V").solve(b).iterations
+        w = make_solver(op3, "W").solve(b).iterations
+        assert w <= v
+
+    def test_v_cycle_does_less_coarse_work_per_iteration(self, op3):
+        b = random_spinor(op3.lattice, seed=703)
+        res_k = make_solver(op3, "K").solve(b)
+        res_v = make_solver(op3, "V").solve(b)
+        per_iter_k = res_k.extra["level_stats"][1]["op_applies"] / res_k.iterations
+        per_iter_v = res_v.extra["level_stats"][1]["op_applies"] / res_v.iterations
+        assert per_iter_v < per_iter_k

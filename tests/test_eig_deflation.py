@@ -1,0 +1,103 @@
+"""Lanczos eigensolver and deflated CG."""
+
+import numpy as np
+import pytest
+
+from repro.dirac import NormalOperator
+from repro.solvers import cg, condition_estimate, deflated_cg, lanczos_lowest, norm
+from tests.conftest import random_spinor
+
+
+@pytest.fixture(scope="module")
+def normal_op(wilson44):
+    return NormalOperator(wilson44)
+
+
+@pytest.fixture(scope="module")
+def low_modes(normal_op, lat44):
+    return lanczos_lowest(
+        normal_op,
+        (lat44.volume, 4, 3),
+        n_eigs=6,
+        rng=np.random.default_rng(0),
+        max_steps=250,
+    )
+
+
+class TestLanczos:
+    def test_eigenpairs_satisfy_equation(self, normal_op, low_modes):
+        # the clustered spectrum converges from the bottom: the lowest
+        # pairs are tight, the higher ones looser
+        evals, evecs = low_modes
+        for i, (lam, vec) in enumerate(zip(evals, evecs)):
+            resid = norm(normal_op.apply(vec) - lam * vec) / norm(vec)
+            assert resid < (5e-4 if i < 3 else 5e-2), i
+
+    def test_eigenvalues_sorted_positive(self, low_modes):
+        evals, _ = low_modes
+        assert np.all(evals > 0)
+        assert np.all(np.diff(evals) >= -1e-12)
+
+    def test_vectors_near_orthonormal(self, low_modes):
+        _, evecs = low_modes
+        v0 = evecs[0].ravel()
+        v1 = evecs[1].ravel()
+        assert abs(np.vdot(v0, v1)) < 1e-3
+        assert np.linalg.norm(v0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_bad_count_rejected(self, normal_op, lat44):
+        with pytest.raises(ValueError):
+            lanczos_lowest(normal_op, (lat44.volume, 4, 3), 0, np.random.default_rng(1))
+
+
+class TestDeflatedCG:
+    def test_converges_to_same_solution(self, normal_op, low_modes, lat44):
+        evals, evecs = low_modes
+        b = random_spinor(lat44, seed=600)
+        plain = cg(normal_op, b, tol=1e-9, maxiter=4000)
+        defl = deflated_cg(normal_op, b, evals, evecs, tol=1e-9, maxiter=4000)
+        assert defl.final_residual < 1e-8
+        assert norm(plain.x - defl.x) / norm(plain.x) < 1e-6
+
+    def test_deflation_reduces_iterations(self, normal_op, low_modes, lat44):
+        # removing the low modes improves the effective condition number
+        evals, evecs = low_modes
+        b = random_spinor(lat44, seed=601)
+        plain = cg(normal_op, b, tol=1e-8, maxiter=4000)
+        defl = deflated_cg(normal_op, b, evals, evecs, tol=1e-8, maxiter=4000)
+        assert defl.iterations < plain.iterations
+
+    def test_more_modes_help_more(self, normal_op, low_modes, lat44):
+        evals, evecs = low_modes
+        b = random_spinor(lat44, seed=602)
+        few = deflated_cg(normal_op, b, evals[:2], evecs[:2], tol=1e-8, maxiter=4000)
+        many = deflated_cg(normal_op, b, evals, evecs, tol=1e-8, maxiter=4000)
+        assert many.iterations <= few.iterations
+
+    def test_mode_count_recorded(self, normal_op, low_modes, lat44):
+        evals, evecs = low_modes
+        b = random_spinor(lat44, seed=603)
+        res = deflated_cg(normal_op, b, evals[:3], evecs[:3], tol=1e-6, maxiter=4000)
+        assert res.extra["deflated_modes"] == 3
+
+
+class TestConditionEstimate:
+    def test_reasonable_estimate(self, normal_op, lat44):
+        est = condition_estimate(
+            normal_op, (lat44.volume, 4, 3), np.random.default_rng(2), steps=120
+        )
+        assert est > 1.0
+
+    def test_mass_controls_conditioning(self, gauge44, lat44):
+        # paper Section 3.3: "The quark mass controls the condition
+        # number of the matrix"
+        from repro.dirac import WilsonCloverOperator
+
+        rng = np.random.default_rng(3)
+        conds = []
+        for mass in (0.5, -0.5):
+            op = NormalOperator(WilsonCloverOperator(gauge44, mass=mass))
+            conds.append(
+                condition_estimate(op, (lat44.volume, 4, 3), rng, steps=100)
+            )
+        assert conds[1] > conds[0]

@@ -1,0 +1,119 @@
+"""Field containers: spinor and gauge fields."""
+
+import numpy as np
+import pytest
+
+from repro.fields import GaugeField, SpinorField
+from repro.precision import Precision
+from repro.lattice import Lattice
+
+
+class TestSpinorField:
+    def test_zeros(self, lat44):
+        f = SpinorField.zeros(lat44)
+        assert f.data.shape == (lat44.volume, 4, 3)
+        assert f.norm2() == 0.0
+        assert f.ns == 4 and f.nc == 3 and f.site_dof == 12
+
+    def test_coarse_shape(self, lat44):
+        f = SpinorField.zeros(lat44, ns=2, nc=24)
+        assert f.data.shape == (lat44.volume, 2, 24)
+
+    def test_random_deterministic(self, lat44):
+        a = SpinorField.random(lat44, rng=np.random.default_rng(3))
+        b = SpinorField.random(lat44, rng=np.random.default_rng(3))
+        assert np.array_equal(a.data, b.data)
+
+    def test_point_source(self, lat44):
+        f = SpinorField.point_source(lat44, site=5, spin=2, color=1)
+        assert f.norm2() == 1.0
+        assert f.data[5, 2, 1] == 1.0
+
+    def test_norm_and_dot_consistent(self, lat44):
+        f = SpinorField.random(lat44, rng=np.random.default_rng(4))
+        assert f.dot(f).real == pytest.approx(f.norm2())
+        assert f.norm() == pytest.approx(np.sqrt(f.norm2()))
+
+    def test_dot_conjugate_linear(self, lat44):
+        r = np.random.default_rng(5)
+        a = SpinorField.random(lat44, rng=r)
+        b = SpinorField.random(lat44, rng=r)
+        assert a.dot(b) == pytest.approx(np.conj(b.dot(a)))
+        assert a.dot(b * 2j) == pytest.approx(2j * a.dot(b))
+        assert (a * 2j).dot(b) == pytest.approx(-2j * a.dot(b))
+
+    def test_arithmetic(self, lat44):
+        r = np.random.default_rng(6)
+        a = SpinorField.random(lat44, rng=r)
+        b = SpinorField.random(lat44, rng=r)
+        c = a + b - a
+        np.testing.assert_allclose(c.data, b.data)
+        np.testing.assert_allclose((-a).data, -a.data)
+        np.testing.assert_allclose((a * 2.0).data, (2.0 * a).data)
+
+    def test_axpy(self, lat44):
+        r = np.random.default_rng(7)
+        a = SpinorField.random(lat44, rng=r)
+        b = SpinorField.random(lat44, rng=r)
+        expect = b.data + 0.5j * a.data
+        b.axpy(0.5j, a)
+        np.testing.assert_allclose(b.data, expect)
+
+    def test_xpay(self, lat44):
+        r = np.random.default_rng(8)
+        a = SpinorField.random(lat44, rng=r)
+        b = SpinorField.random(lat44, rng=r)
+        expect = a.data + 0.5 * b.data
+        b.xpay(a, 0.5)
+        np.testing.assert_allclose(b.data, expect)
+
+    def test_shape_mismatch_raises(self, lat44):
+        a = SpinorField.zeros(lat44)
+        b = SpinorField.zeros(lat44, ns=2, nc=4)
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_lattice_mismatch_raises(self, lat44, lat2):
+        a = SpinorField.zeros(lat44)
+        b = SpinorField.zeros(lat2)
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_bad_data_shape_raises(self, lat44):
+        with pytest.raises(ValueError):
+            SpinorField(lat44, np.zeros((7, 4, 3), dtype=complex))
+
+    def test_round_to_half(self, lat44):
+        f = SpinorField.random(lat44, rng=np.random.default_rng(9))
+        g = f.round_to(Precision.HALF)
+        assert g.data.shape == f.data.shape
+        rel = (f - g).norm() / f.norm()
+        assert 0 < rel < 1e-3
+
+    def test_copy_is_independent(self, lat44):
+        f = SpinorField.random(lat44, rng=np.random.default_rng(10))
+        g = f.copy()
+        g.data[0, 0, 0] = 99.0
+        assert f.data[0, 0, 0] != 99.0
+
+
+class TestGaugeField:
+    def test_identity_unitary(self, lat44):
+        u = GaugeField.identity(lat44)
+        assert u.unitarity_violation() < 1e-15
+        assert u.determinant_violation() < 1e-15
+
+    def test_bad_shape_raises(self, lat44):
+        with pytest.raises(ValueError):
+            GaugeField(lat44, np.zeros((4, 7, 3, 3), dtype=complex))
+
+    def test_dagger_at(self, gauge44):
+        sites = np.array([0, 5, 9])
+        d = gauge44.dagger_at(1, sites)
+        expect = np.conj(np.swapaxes(gauge44.data[1, sites], -1, -2))
+        assert np.array_equal(d, expect)
+
+    def test_copy_independent(self, gauge44):
+        c = gauge44.copy()
+        c.data[0, 0] = 0
+        assert gauge44.unitarity_violation() < 1e-12

@@ -1,0 +1,118 @@
+"""Gamma-matrix algebra in the DeGrand-Rossi basis."""
+
+import numpy as np
+import pytest
+
+from repro.dirac import chirality_slices, gamma5, gamma_matrices, projectors, sigma_munu
+from repro.dirac.gamma import chirality_slices_for
+from repro.lattice import NDIM
+
+EYE = np.eye(4)
+
+
+class TestCliffordAlgebra:
+    def test_anticommutators(self):
+        g = gamma_matrices()
+        for a in range(NDIM):
+            for b in range(NDIM):
+                ac = g[a] @ g[b] + g[b] @ g[a]
+                np.testing.assert_allclose(ac, 2 * EYE * (a == b), atol=1e-15)
+
+    def test_hermitian(self):
+        g = gamma_matrices()
+        for mu in range(NDIM):
+            np.testing.assert_allclose(g[mu], g[mu].conj().T, atol=1e-15)
+
+    def test_square_is_identity(self):
+        g = gamma_matrices()
+        for mu in range(NDIM):
+            np.testing.assert_allclose(g[mu] @ g[mu], EYE, atol=1e-15)
+
+
+class TestGamma5:
+    def test_diagonal_chiral(self):
+        np.testing.assert_allclose(gamma5(), np.diag([1, 1, -1, -1]), atol=1e-14)
+
+    def test_is_product_of_gammas(self):
+        g = gamma_matrices()
+        np.testing.assert_allclose(
+            gamma5(), g[0] @ g[1] @ g[2] @ g[3], atol=1e-14
+        )
+
+    def test_anticommutes_with_gammas(self):
+        g = gamma_matrices()
+        g5 = gamma5()
+        for mu in range(NDIM):
+            np.testing.assert_allclose(g5 @ g[mu] + g[mu] @ g5, 0 * EYE, atol=1e-14)
+
+
+class TestProjectors:
+    def test_sum_is_two(self):
+        minus, plus = projectors()
+        for mu in range(NDIM):
+            np.testing.assert_allclose(minus[mu] + plus[mu], 2 * EYE, atol=1e-15)
+
+    def test_half_is_idempotent(self):
+        minus, plus = projectors()
+        for p in list(minus) + list(plus):
+            half = p / 2
+            np.testing.assert_allclose(half @ half, half, atol=1e-14)
+
+    def test_rank_two(self):
+        minus, plus = projectors()
+        for p in list(minus) + list(plus):
+            assert np.linalg.matrix_rank(p) == 2
+
+    def test_gamma5_swaps_projectors(self):
+        minus, plus = projectors()
+        g5 = gamma5()
+        for mu in range(NDIM):
+            np.testing.assert_allclose(g5 @ minus[mu] @ g5, plus[mu], atol=1e-14)
+
+
+class TestSigma:
+    def test_hermitian(self):
+        sig = sigma_munu()
+        for mu in range(NDIM):
+            for nu in range(NDIM):
+                np.testing.assert_allclose(
+                    sig[mu, nu], sig[mu, nu].conj().T, atol=1e-14
+                )
+
+    def test_antisymmetric_in_indices(self):
+        sig = sigma_munu()
+        for mu in range(NDIM):
+            for nu in range(NDIM):
+                np.testing.assert_allclose(sig[mu, nu], -sig[nu, mu], atol=1e-14)
+
+    def test_commutes_with_gamma5(self):
+        sig = sigma_munu()
+        g5 = gamma5()
+        for mu in range(NDIM):
+            for nu in range(NDIM):
+                comm = g5 @ sig[mu, nu] - sig[mu, nu] @ g5
+                np.testing.assert_allclose(comm, 0 * EYE, atol=1e-14)
+
+    def test_chirality_block_diagonal(self):
+        sig = sigma_munu()
+        up, down = chirality_slices()
+        for mu in range(NDIM):
+            for nu in range(NDIM):
+                assert np.abs(sig[mu, nu][up, down]).max() < 1e-14
+                assert np.abs(sig[mu, nu][down, up]).max() < 1e-14
+
+
+class TestChiralitySlices:
+    def test_fine(self):
+        up, down = chirality_slices()
+        assert (up.start, up.stop) == (0, 2)
+        assert (down.start, down.stop) == (2, 4)
+
+    def test_coarse(self):
+        up, down = chirality_slices_for(2)
+        assert (up.start, up.stop) == (0, 1)
+        assert (down.start, down.stop) == (1, 2)
+
+    def test_odd_rejected(self):
+        with pytest.raises(ValueError):
+            chirality_slices_for(3)

@@ -1,0 +1,83 @@
+"""Synthetic gauge-ensemble generation and smearing."""
+
+import numpy as np
+import pytest
+
+from repro.gauge import (
+    ape_smear,
+    average_plaquette,
+    disordered_field,
+    free_field,
+    hot_start,
+    staple_sum,
+)
+from repro.lattice import Lattice
+
+
+class TestGenerators:
+    def test_free_field_plaquette_one(self, lat44):
+        assert average_plaquette(free_field(lat44)) == pytest.approx(1.0)
+
+    def test_hot_start_plaquette_near_zero(self, lat44):
+        p = average_plaquette(hot_start(lat44, np.random.default_rng(0)))
+        assert abs(p) < 0.1
+
+    def test_links_are_su3(self, lat44):
+        u = disordered_field(lat44, np.random.default_rng(1), 0.6)
+        assert u.unitarity_violation() < 1e-12
+        assert u.determinant_violation() < 1e-12
+
+    def test_disorder_zero_is_free(self, lat44):
+        u = disordered_field(lat44, np.random.default_rng(2), 0.0)
+        assert average_plaquette(u) == pytest.approx(1.0)
+
+    def test_plaquette_decreases_with_disorder(self, lat44):
+        plaqs = [
+            average_plaquette(disordered_field(lat44, np.random.default_rng(3), d))
+            for d in (0.1, 0.4, 0.8)
+        ]
+        assert plaqs[0] > plaqs[1] > plaqs[2]
+
+    def test_negative_disorder_rejected(self, lat44):
+        with pytest.raises(ValueError):
+            disordered_field(lat44, np.random.default_rng(4), -0.1)
+
+    def test_deterministic_by_seed(self, lat44):
+        a = disordered_field(lat44, np.random.default_rng(5), 0.5)
+        b = disordered_field(lat44, np.random.default_rng(5), 0.5)
+        assert np.array_equal(a.data, b.data)
+
+
+class TestSmearing:
+    def test_smearing_raises_plaquette(self, lat44):
+        u = disordered_field(lat44, np.random.default_rng(6), 0.6)
+        s = ape_smear(u, alpha=0.5, steps=2)
+        assert average_plaquette(s) > average_plaquette(u)
+
+    def test_smeared_links_stay_su3(self, lat44):
+        u = disordered_field(lat44, np.random.default_rng(7), 0.6)
+        s = ape_smear(u, alpha=0.6, steps=3)
+        assert s.unitarity_violation() < 1e-12
+
+    def test_alpha_zero_is_identity(self, lat44):
+        u = disordered_field(lat44, np.random.default_rng(8), 0.5)
+        s = ape_smear(u, alpha=0.0, steps=1)
+        # projection of an SU(3) matrix is itself
+        np.testing.assert_allclose(s.data, u.data, atol=1e-12)
+
+    def test_alpha_out_of_range(self, lat44):
+        u = free_field(lat44)
+        with pytest.raises(ValueError):
+            ape_smear(u, alpha=1.5)
+
+    def test_free_field_staples(self, lat44):
+        u = free_field(lat44)
+        s = staple_sum(u, 0)
+        np.testing.assert_allclose(
+            s, np.broadcast_to(6 * np.eye(3), s.shape), atol=1e-14
+        )
+
+    def test_free_field_fixed_under_smearing(self, lat44):
+        u = free_field(lat44)
+        s = ape_smear(u, alpha=0.5, steps=2)
+        np.testing.assert_allclose(s.data, u.data, atol=1e-12)

@@ -1,0 +1,85 @@
+"""Wilson loops, field strength, and gauge covariance."""
+
+import numpy as np
+import pytest
+
+from repro.fields import GaugeField
+from repro.gauge import (
+    average_plaquette,
+    clover_leaves,
+    dagger,
+    disordered_field,
+    field_strength,
+    free_field,
+    plaquette_field,
+    random_su3,
+)
+from repro.lattice import NDIM
+
+
+def gauge_transform(u: GaugeField, g: np.ndarray) -> GaugeField:
+    """U'_mu(x) = g(x) U_mu(x) g(x + mu)^dag."""
+    lat = u.lattice
+    data = np.empty_like(u.data)
+    for mu in range(NDIM):
+        data[mu] = g @ u.data[mu] @ dagger(g[lat.fwd[mu]])
+    return GaugeField(lat, data)
+
+
+@pytest.fixture(scope="module")
+def transform(lat44):
+    return random_su3(np.random.default_rng(42), lat44.volume)
+
+
+class TestPlaquette:
+    def test_plaquette_is_unitary(self, gauge44):
+        p = plaquette_field(gauge44, 0, 1)
+        assert np.abs(p @ dagger(p) - np.eye(3)).max() < 1e-12
+
+    def test_average_plaquette_bounds(self, gauge44):
+        p = average_plaquette(gauge44)
+        assert -1.0 <= p <= 1.0
+
+    def test_gauge_invariance(self, gauge44, transform):
+        before = average_plaquette(gauge44)
+        after = average_plaquette(gauge_transform(gauge44, transform))
+        assert after == pytest.approx(before, abs=1e-12)
+
+
+class TestCloverLeaves:
+    def test_free_field_leaves(self, lat44):
+        q = clover_leaves(free_field(lat44), 0, 1)
+        np.testing.assert_allclose(
+            q, np.broadcast_to(4 * np.eye(3), q.shape), atol=1e-14
+        )
+
+    def test_mu_nu_antisymmetry_of_field_strength(self, gauge44):
+        f01 = field_strength(gauge44, 0, 1)
+        f10 = field_strength(gauge44, 1, 0)
+        np.testing.assert_allclose(f01, -f10, atol=1e-12)
+
+
+class TestFieldStrength:
+    def test_antihermitian_traceless(self, gauge44):
+        for mu, nu in [(0, 1), (1, 3), (2, 3)]:
+            f = field_strength(gauge44, mu, nu)
+            assert np.abs(f + dagger(f)).max() < 1e-13
+            assert np.abs(np.einsum("nii->n", f)).max() < 1e-13
+
+    def test_vanishes_on_free_field(self, lat44):
+        f = field_strength(free_field(lat44), 0, 3)
+        assert np.abs(f).max() < 1e-14
+
+    def test_gauge_covariance(self, gauge44, transform):
+        # F'(x) = g(x) F(x) g(x)^dag
+        f = field_strength(gauge44, 0, 2)
+        fp = field_strength(gauge_transform(gauge44, transform), 0, 2)
+        expect = transform @ f @ dagger(transform)
+        np.testing.assert_allclose(fp, expect, atol=1e-12)
+
+    def test_grows_with_disorder(self, lat44):
+        small = disordered_field(lat44, np.random.default_rng(1), 0.1)
+        large = disordered_field(lat44, np.random.default_rng(1), 0.6)
+        fs = np.abs(field_strength(small, 0, 1)).mean()
+        fl = np.abs(field_strength(large, 0, 1)).mean()
+        assert fl > fs

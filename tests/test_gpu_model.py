@@ -1,0 +1,195 @@
+"""The GPU performance model and the Figure 2 invariants."""
+
+import math
+
+import pytest
+
+from repro.gpu import (
+    Autotuner,
+    BlasKernel,
+    CoarseDslashKernel,
+    K20X,
+    M40,
+    ReductionKernel,
+    Strategy,
+    ThreadMapping,
+    TransferKernel,
+    WilsonCloverDslashKernel,
+    candidate_mappings,
+    stencil_kernel_time,
+    streaming_kernel_time,
+)
+
+STRATEGY_ORDER = [
+    Strategy.BASELINE,
+    Strategy.COLOR_SPIN,
+    Strategy.STENCIL_DIRECTION,
+    Strategy.DOT_PRODUCT,
+]
+
+
+@pytest.fixture(scope="module")
+def tuner():
+    return Autotuner(K20X)
+
+
+def tuned_gflops(tuner, length, nc, strategy):
+    k = CoarseDslashKernel(volume=length**4, dof=2 * nc)
+    return tuner.tune_stencil(k, strategy).timing.gflops
+
+
+class TestDeviceSpecs:
+    def test_k20x_peak(self):
+        assert K20X.peak_gflops == pytest.approx(3935.2, rel=1e-3)
+
+    def test_kepler_latency_higher_than_maxwell(self):
+        assert K20X.dep_latency > M40.dep_latency
+
+    def test_issue_width(self):
+        assert K20X.issue_width == 6.0
+
+
+class TestKernelDescriptions:
+    def test_coarse_arithmetic_intensity_near_one(self):
+        # Section 6.5: AI of the coarse operator is close to unity in FP32
+        k = CoarseDslashKernel(volume=1000, dof=48)
+        ai = k.total_flops / k.total_bytes
+        assert 0.9 < ai < 1.1
+
+    def test_coarse_flops_scale_quadratically(self):
+        f24 = CoarseDslashKernel(volume=16, dof=48).total_flops
+        f32 = CoarseDslashKernel(volume=16, dof=64).total_flops
+        assert f32 / f24 == pytest.approx((64 / 48) ** 2, rel=0.05)
+
+    def test_wilson_flop_count(self):
+        k = WilsonCloverDslashKernel(volume=100)
+        assert k.flops_per_site == 1824.0
+        assert WilsonCloverDslashKernel(volume=100, clover=False).flops_per_site == 1320.0
+
+    def test_compression_reduces_traffic(self):
+        b12 = WilsonCloverDslashKernel(volume=100, reconstruct=12).total_bytes
+        b8 = WilsonCloverDslashKernel(volume=100, reconstruct=8).total_bytes
+        assert b8 < b12
+
+    def test_half_precision_halves_traffic(self):
+        b4 = WilsonCloverDslashKernel(volume=100, precision_bytes=4.0).total_bytes
+        b2 = WilsonCloverDslashKernel(volume=100, precision_bytes=2.0).total_bytes
+        assert b2 == pytest.approx(b4 / 2)
+
+
+class TestMappings:
+    def test_baseline_has_no_fine_grained_candidates(self):
+        cands = candidate_mappings(Strategy.BASELINE, 16, 48)
+        assert all(m.dof_split == 1 and m.dir_split == 1 and m.dot_split == 1 for m in cands)
+
+    def test_dot_product_strategy_widens_space(self):
+        base = candidate_mappings(Strategy.BASELINE, 16, 48)
+        dot = candidate_mappings(Strategy.DOT_PRODUCT, 16, 48)
+        assert len(dot) > len(base)
+        assert any(m.dot_split > 1 for m in dot)
+
+    def test_block_limit_respected(self):
+        for m in candidate_mappings(Strategy.DOT_PRODUCT, 16, 64, 1024):
+            assert m.block_threads() <= 1024
+
+    def test_threads_per_site(self):
+        m = ThreadMapping(block_x=4, dof_split=8, dir_split=2, dot_split=2)
+        assert m.threads_per_site() == 32
+        assert m.block_threads() == 128
+
+
+class TestFigure2Invariants:
+    def test_plateau_near_80pct_stream(self, tuner):
+        # saturated performance ~ 140 GFLOPS = 80% of STREAM (Section 6.5)
+        g = tuned_gflops(tuner, 10, 24, Strategy.DOT_PRODUCT)
+        assert 120 < g < 150
+
+    def test_strategies_cumulative(self, tuner):
+        # each added source of parallelism can only help (autotuner takes
+        # the best over a superset of candidates)
+        for length in (10, 8, 6, 4, 2):
+            for nc in (24, 32):
+                vals = [tuned_gflops(tuner, length, nc, s) for s in STRATEGY_ORDER]
+                for a, b in zip(vals, vals[1:]):
+                    assert b >= a * 0.999, (length, nc, vals)
+
+    def test_baseline_collapses_on_small_grids(self, tuner):
+        g10 = tuned_gflops(tuner, 10, 24, Strategy.BASELINE)
+        g2 = tuned_gflops(tuner, 2, 24, Strategy.BASELINE)
+        assert g2 < g10 / 50
+
+    def test_fine_grained_rescues_small_grids(self, tuner):
+        base = tuned_gflops(tuner, 2, 32, Strategy.BASELINE)
+        full = tuned_gflops(tuner, 2, 32, Strategy.DOT_PRODUCT)
+        # the paper's ~100x claim (Section 6.5)
+        assert 50 < full / base < 250
+
+    def test_two4_not_saturated(self, tuner):
+        # "on the 2^4 lattice ... even then performance is not saturated"
+        plateau = tuned_gflops(tuner, 10, 32, Strategy.DOT_PRODUCT)
+        g2 = tuned_gflops(tuner, 2, 32, Strategy.DOT_PRODUCT)
+        assert g2 < 0.6 * plateau
+
+    def test_color_spin_saturates_mid_sizes(self, tuner):
+        # "For all but the smallest lattice size, the addition of
+        # color-spin parallelization is enough to saturate performance"
+        g = tuned_gflops(tuner, 6, 24, Strategy.COLOR_SPIN)
+        plateau = tuned_gflops(tuner, 10, 24, Strategy.DOT_PRODUCT)
+        assert g > 0.8 * plateau
+
+    def test_wilson_clover_much_faster_than_coarse(self, tuner):
+        # Section 6.5: the Wilson-Clover operator sustains ~400 GFLOPS
+        # (half precision, 8-real reconstruction, as run in Section 7)
+        # vs ~140 for the coarse operator: ~3x from the retained tensor
+        # structure and compression
+        wk = WilsonCloverDslashKernel(volume=24**4, precision_bytes=2.0, reconstruct=8)
+        wt = stencil_kernel_time(K20X, wk, ThreadMapping(block_x=128))
+        ck = tuned_gflops(tuner, 10, 24, Strategy.DOT_PRODUCT)
+        assert 2.0 * ck < wt.gflops < 4.5 * ck
+        assert 350 < wt.gflops < 520
+
+
+class TestModelMechanics:
+    def test_memory_bound_on_large_grids(self, tuner):
+        k = CoarseDslashKernel(volume=10**4, dof=48)
+        r = tuner.tune_stencil(k, Strategy.DOT_PRODUCT)
+        assert r.timing.bound == "memory"
+
+    def test_autotuner_caches(self, tuner):
+        k = CoarseDslashKernel(volume=16, dof=48)
+        a = tuner.tune_stencil(k, Strategy.DOT_PRODUCT)
+        b = tuner.tune_stencil(k, Strategy.DOT_PRODUCT)
+        assert a is b
+
+    def test_ilp_helps_latency_bound_kernels(self):
+        k = CoarseDslashKernel(volume=16, dof=64)
+        t1 = stencil_kernel_time(K20X, k, ThreadMapping(4, 16, 1, 1, ilp=1))
+        t2 = stencil_kernel_time(K20X, k, ThreadMapping(4, 16, 1, 1, ilp=2))
+        assert t2.time_s <= t1.time_s
+
+    def test_maxwell_less_latency_sensitive(self):
+        # the Kepler/Maxwell dependent-latency contrast of Section 6.4
+        k = CoarseDslashKernel(volume=16, dof=48)
+        m = ThreadMapping(1, 16, 1, 1, ilp=1)
+        frac_k = stencil_kernel_time(K20X, k, m).gflops / K20X.peak_gflops
+        frac_m = stencil_kernel_time(M40, k, m).gflops / M40.peak_gflops
+        assert frac_m >= frac_k
+
+    def test_streaming_kernels_scale_with_bytes(self):
+        small = streaming_kernel_time(K20X, BlasKernel(n_complex=10**5))
+        large = streaming_kernel_time(K20X, BlasKernel(n_complex=10**7))
+        assert large > small
+
+    def test_reduction_kernel_time_positive(self):
+        assert streaming_kernel_time(K20X, ReductionKernel(n_complex=10**5)) > 0
+
+    def test_transfer_kernel_time_positive(self):
+        k = TransferKernel(fine_volume=4096, fine_dof=12, coarse_dof=48)
+        assert streaming_kernel_time(K20X, k) > 0
+
+    def test_gflops_consistency(self, tuner):
+        k = CoarseDslashKernel(volume=6**4, dof=48)
+        r = tuner.tune_stencil(k, Strategy.COLOR_SPIN)
+        assert r.timing.gflops == pytest.approx(
+            k.total_flops / r.timing.time_s / 1e9
+        )

@@ -1,0 +1,109 @@
+"""Quenched SU(3) heatbath generation."""
+
+import numpy as np
+import pytest
+
+from repro.gauge import average_plaquette
+from repro.gauge.heatbath import (
+    _kennedy_pendleton,
+    _su2_from_quaternion,
+    _su2_project,
+    heatbath_sweep,
+    quenched_ensemble,
+)
+from repro.lattice import Lattice
+
+
+@pytest.fixture(scope="module")
+def lat():
+    return Lattice((4, 4, 4, 4))
+
+
+class TestSU2Machinery:
+    def test_quaternion_gives_su2(self):
+        rng = np.random.default_rng(0)
+        q = rng.standard_normal((20, 4))
+        q /= np.linalg.norm(q, axis=1, keepdims=True)
+        m = _su2_from_quaternion(q)
+        eye = np.eye(2)
+        assert np.abs(m @ np.conj(np.swapaxes(m, -1, -2)) - eye).max() < 1e-13
+        assert np.abs(np.linalg.det(m) - 1).max() < 1e-13
+
+    def test_su2_project_recovers_su2_input(self):
+        rng = np.random.default_rng(1)
+        q = rng.standard_normal((10, 4))
+        q /= np.linalg.norm(q, axis=1, keepdims=True)
+        m = _su2_from_quaternion(q)
+        k, v = _su2_project(3.7 * m)
+        np.testing.assert_allclose(k, 3.7, rtol=1e-12)
+        np.testing.assert_allclose(v, m, atol=1e-12)
+
+    def test_kennedy_pendleton_distribution(self):
+        # mean of a0 under ~ sqrt(1-a0^2) exp(x a0) grows with x and
+        # approaches 1 for large x
+        rng = np.random.default_rng(2)
+        m_small = _kennedy_pendleton(np.full(4000, 0.5), rng).mean()
+        m_large = _kennedy_pendleton(np.full(4000, 20.0), rng).mean()
+        assert -1 <= m_small <= 1
+        assert m_large > m_small
+        assert m_large > 0.85
+
+    def test_kennedy_pendleton_range(self):
+        rng = np.random.default_rng(3)
+        a0 = _kennedy_pendleton(np.full(2000, 2.0), rng)
+        assert a0.min() >= -1.0 and a0.max() <= 1.0
+
+
+class TestHeatbath:
+    def test_links_stay_su3(self, lat):
+        u = quenched_ensemble(lat, 5.7, np.random.default_rng(4), n_thermalize=3)
+        assert u.unitarity_violation() < 1e-12
+        assert u.determinant_violation() < 1e-12
+
+    def test_plaquette_monotone_in_beta(self, lat):
+        plaqs = [
+            average_plaquette(
+                quenched_ensemble(lat, beta, np.random.default_rng(5), 12)
+            )
+            for beta in (1.0, 5.7, 12.0)
+        ]
+        assert plaqs[0] < plaqs[1] < plaqs[2]
+
+    def test_literature_plaquette_at_beta57(self, lat):
+        # SU(3) Wilson action at beta = 5.7: plaquette ~ 0.55
+        u = quenched_ensemble(lat, 5.7, np.random.default_rng(6), 20)
+        assert 0.45 < average_plaquette(u) < 0.62
+
+    def test_hot_and_cold_starts_converge(self, lat):
+        hot = quenched_ensemble(lat, 5.7, np.random.default_rng(7), 25, start="hot")
+        cold = quenched_ensemble(lat, 5.7, np.random.default_rng(8), 25, start="cold")
+        assert abs(average_plaquette(hot) - average_plaquette(cold)) < 0.05
+
+    def test_bad_start_rejected(self, lat):
+        with pytest.raises(ValueError):
+            quenched_ensemble(lat, 5.7, np.random.default_rng(9), 1, start="warm")
+
+    def test_sweep_moves_toward_equilibrium(self, lat):
+        # from a hot start at high beta the plaquette must rise sweep by sweep
+        from repro.gauge.generate import hot_start
+
+        u = hot_start(lat, np.random.default_rng(10))
+        p0 = average_plaquette(u)
+        u = heatbath_sweep(u, 8.0, np.random.default_rng(11))
+        p1 = average_plaquette(u)
+        u = heatbath_sweep(u, 8.0, np.random.default_rng(12))
+        p2 = average_plaquette(u)
+        assert p0 < p1 < p2
+
+    def test_usable_with_dirac_operator(self, lat):
+        from repro.dirac import WilsonCloverOperator
+        from repro.solvers import bicgstab
+
+        u = quenched_ensemble(lat, 6.0, np.random.default_rng(13), 10)
+        op = WilsonCloverOperator(u, mass=-0.3, c_sw=1.0)
+        rng = np.random.default_rng(14)
+        b = rng.standard_normal((lat.volume, 4, 3)) + 1j * rng.standard_normal(
+            (lat.volume, 4, 3)
+        )
+        res = bicgstab(op, b, tol=1e-8, maxiter=5000)
+        assert res.converged

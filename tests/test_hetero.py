@@ -1,0 +1,79 @@
+"""Heterogeneous CPU/GPU placement policy (paper Sections 5 and 9)."""
+
+import pytest
+
+from repro.gpu.kernels import CoarseDslashKernel
+from repro.machine import (
+    MachineModel,
+    OPTERON_6274,
+    choose_placement,
+    cpu_stencil_time,
+    mg_level_specs,
+    pcie_transfer_time,
+)
+from repro.workloads import ISO64
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MachineModel()
+
+
+@pytest.fixture(scope="module")
+def levels():
+    return mg_level_specs(ISO64.dims, ISO64.blockings[64], [24, 32])
+
+
+class TestCpuModel:
+    def test_cpu_time_positive_and_bandwidth_bound(self):
+        k = CoarseDslashKernel(volume=10**4, dof=48)
+        t = cpu_stencil_time(OPTERON_6274, k)
+        t_mem = k.total_bytes / (OPTERON_6274.stream_bandwidth_gbs * 1e9)
+        assert t >= t_mem
+
+    def test_no_parallelism_cliff(self):
+        # CPU efficiency (time per site) is flat as the grid shrinks —
+        # unlike the GPU baseline, per paper Section 5's motivation
+        t_big = cpu_stencil_time(OPTERON_6274, CoarseDslashKernel(volume=4096, dof=48))
+        t_small = cpu_stencil_time(OPTERON_6274, CoarseDslashKernel(volume=16, dof=48))
+        per_site_big = t_big / 4096
+        per_site_small = (t_small - OPTERON_6274.per_core_overhead_us * 1e-6) / 16
+        assert per_site_small < 2 * per_site_big
+
+    def test_gpu_wins_on_large_grids(self, model, levels):
+        # at Titan-scale local volumes the GPU's 6x bandwidth dominates
+        st = model.stencil_cost(levels[1], 64)
+        import numpy as np
+
+        from repro.machine import choose_proc_grid, local_dims
+
+        grid = choose_proc_grid(levels[1].dims, 64)
+        vol = int(np.prod(local_dims(levels[1].dims, grid)))
+        k = CoarseDslashKernel(volume=vol, dof=levels[1].dof)
+        assert st.kernel_s < cpu_stencil_time(OPTERON_6274, k)
+
+
+class TestPlacement:
+    def test_fine_level_always_gpu(self, model, levels):
+        placement = choose_placement(model, levels, 64)
+        assert placement[0].device == "gpu"
+
+    def test_one_entry_per_level(self, model, levels):
+        placement = choose_placement(model, levels, 128)
+        assert [p.level for p in placement] == [0, 1, 2]
+
+    def test_paper_conclusion_gpu_everywhere_on_titan(self, model, levels):
+        # Section 6.7: "we achieve excellent performance maintaining the
+        # entire calculation on the GPU" — with the fine-grained mapping
+        # the K20X should win every level at the paper's node counts
+        for nodes in (64, 512):
+            placement = choose_placement(model, levels, nodes)
+            assert all(p.device == "gpu" for p in placement), nodes
+
+    def test_transfer_time_positive(self, levels):
+        assert pcie_transfer_time(levels[1], 64) > 0
+
+    def test_placement_times_recorded(self, model, levels):
+        placement = choose_placement(model, levels, 64)
+        for p in placement[1:]:
+            assert p.gpu_time_s > 0 and p.cpu_time_s > 0

@@ -1,0 +1,120 @@
+"""Pure-gauge HMC: exactness properties of the Markov chain."""
+
+import numpy as np
+import pytest
+
+from repro.gauge import average_plaquette
+from repro.gauge.heatbath import quenched_ensemble
+from repro.gauge.hmc import (
+    gauge_force,
+    hmc_ensemble,
+    hmc_trajectory,
+    kinetic_energy,
+    leapfrog,
+    sample_momenta,
+    wilson_action,
+)
+from repro.lattice import Lattice
+
+
+@pytest.fixture(scope="module")
+def lat():
+    return Lattice((4, 4, 4, 4))
+
+
+@pytest.fixture(scope="module")
+def thermal(lat):
+    return quenched_ensemble(lat, 5.7, np.random.default_rng(0), 10)
+
+
+class TestIngredients:
+    def test_momenta_hermitian_traceless(self, lat):
+        p = sample_momenta(lat, np.random.default_rng(1))
+        assert np.abs(p - np.conj(np.swapaxes(p, -1, -2))).max() < 1e-14
+        assert np.abs(np.einsum("dvii->dv", p)).max() < 1e-14
+
+    def test_kinetic_energy_positive(self, lat):
+        p = sample_momenta(lat, np.random.default_rng(2))
+        assert kinetic_energy(p) > 0
+
+    def test_kinetic_energy_equipartition(self, lat):
+        # E[tr P^2] per link = 8 generators * 2 * Var(c) = 4
+        p = sample_momenta(lat, np.random.default_rng(3))
+        per_link = kinetic_energy(p) / (4 * lat.volume)
+        assert per_link == pytest.approx(4.0, rel=0.1)
+
+    def test_action_decreases_with_smoothness(self, lat, thermal):
+        from repro.gauge import free_field, hot_start
+
+        s_cold = wilson_action(free_field(lat), 5.7)
+        s_thermal = wilson_action(thermal, 5.7)
+        s_hot = wilson_action(hot_start(lat, np.random.default_rng(4)), 5.7)
+        assert s_cold < s_thermal < s_hot
+
+    def test_force_hermitian_traceless(self, thermal):
+        f = gauge_force(thermal, 5.7)
+        assert np.abs(f - np.conj(np.swapaxes(f, -1, -2))).max() < 1e-12
+        assert np.abs(np.einsum("dvii->dv", f)).max() < 1e-12
+
+    def test_force_vanishes_on_free_field(self, lat):
+        from repro.gauge import free_field
+
+        f = gauge_force(free_field(lat), 5.7)
+        assert np.abs(f).max() < 1e-13
+
+
+class TestLeapfrog:
+    def test_energy_conservation_scales_as_dt2(self, lat, thermal):
+        dhs = []
+        for dt in (0.05, 0.025):
+            p0 = sample_momenta(lat, np.random.default_rng(5))
+            h0 = kinetic_energy(p0) + wilson_action(thermal, 5.7)
+            u1, p1 = leapfrog(thermal, p0, 5.7, int(round(0.5 / dt)), dt)
+            h1 = kinetic_energy(p1) + wilson_action(u1, 5.7)
+            dhs.append(abs(h1 - h0))
+        # halving dt must cut |dH| by ~4 (allow 2.5-8)
+        assert 2.5 < dhs[0] / dhs[1] < 8.0
+
+    def test_exact_reversibility(self, lat, thermal):
+        p0 = sample_momenta(lat, np.random.default_rng(6))
+        u1, p1 = leapfrog(thermal, p0, 5.7, 10, 0.05)
+        u2, p2 = leapfrog(u1, -p1, 5.7, 10, 0.05)
+        assert np.abs(u2.data - thermal.data).max() < 1e-12
+        assert np.abs(p2 + p0).max() < 1e-12
+
+    def test_links_stay_su3(self, lat, thermal):
+        p0 = sample_momenta(lat, np.random.default_rng(7))
+        u1, _ = leapfrog(thermal, p0, 5.7, 10, 0.05)
+        assert u1.unitarity_violation() < 1e-12
+
+
+class TestMarkovChain:
+    def test_high_acceptance_at_small_dt(self, lat, thermal):
+        accepted = 0
+        u = thermal
+        rng = np.random.default_rng(8)
+        for _ in range(6):
+            res = hmc_trajectory(u, 5.7, rng, n_steps=10, dt=0.04)
+            u = res.gauge
+            accepted += res.accepted
+        assert accepted >= 4
+
+    def test_equilibrium_plaquette_matches_heatbath(self, lat, thermal):
+        # two exact algorithms must agree on <plaquette>
+        u, hist = hmc_ensemble(
+            lat, 5.7, np.random.default_rng(9), n_trajectories=10,
+            n_steps=10, dt=0.05, start=thermal,
+        )
+        hmc_plaq = np.mean([h.plaquette for h in hist[3:]])
+        hb_plaq = average_plaquette(
+            quenched_ensemble(lat, 5.7, np.random.default_rng(10), 20)
+        )
+        assert hmc_plaq == pytest.approx(hb_plaq, abs=0.06)
+
+    def test_rejection_keeps_old_configuration(self, lat, thermal):
+        # a huge step size guarantees rejection
+        rng = np.random.default_rng(11)
+        res = hmc_trajectory(thermal, 5.7, rng, n_steps=3, dt=1.0)
+        if not res.accepted:
+            assert np.array_equal(res.gauge.data, thermal.data)
+        assert res.delta_h != 0.0

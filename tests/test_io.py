@@ -1,0 +1,47 @@
+"""Gauge and spinor field I/O."""
+
+import numpy as np
+import pytest
+
+from repro.fields import SpinorField
+from repro.gauge import load_gauge, load_spinor, save_gauge, save_spinor
+
+
+class TestGaugeIO:
+    @pytest.mark.parametrize("reconstruct", [18, 12, 8])
+    def test_roundtrip(self, tmp_path, gauge44, reconstruct):
+        path = tmp_path / f"cfg{reconstruct}.npz"
+        save_gauge(path, gauge44, reconstruct=reconstruct)
+        loaded = load_gauge(path)
+        assert loaded.lattice == gauge44.lattice
+        tol = 1e-13 if reconstruct != 8 else 1e-9
+        assert np.abs(loaded.data - gauge44.data).max() < tol
+
+    def test_compression_shrinks_file(self, tmp_path, gauge44):
+        p18 = tmp_path / "c18.npz"
+        p8 = tmp_path / "c8.npz"
+        save_gauge(p18, gauge44, reconstruct=18)
+        save_gauge(p8, gauge44, reconstruct=8)
+        assert p8.stat().st_size < p18.stat().st_size
+
+    def test_bad_level_rejected(self, tmp_path, gauge44):
+        with pytest.raises(ValueError):
+            save_gauge(tmp_path / "x.npz", gauge44, reconstruct=10)
+
+
+class TestSpinorIO:
+    def test_roundtrip(self, tmp_path, lat44):
+        f = SpinorField.random(lat44, rng=np.random.default_rng(1))
+        path = tmp_path / "spinor.npz"
+        save_spinor(path, f)
+        g = load_spinor(path)
+        assert g.lattice == f.lattice
+        assert np.array_equal(g.data, f.data)
+
+    def test_coarse_spinor_roundtrip(self, tmp_path, lat44):
+        f = SpinorField.random(lat44, ns=2, nc=8, rng=np.random.default_rng(2))
+        path = tmp_path / "coarse.npz"
+        save_spinor(path, f)
+        g = load_spinor(path)
+        assert g.ns == 2 and g.nc == 8
+        assert np.array_equal(g.data, f.data)

@@ -1,0 +1,97 @@
+"""Hypercubic aggregation geometry."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import Blocking, Lattice
+
+
+class TestConstruction:
+    def test_coarse_dims(self):
+        b = Blocking(Lattice((4, 4, 4, 8)), (2, 2, 2, 4))
+        assert b.coarse.dims == (2, 2, 2, 2)
+        assert b.block_volume == 32
+
+    def test_rejects_nontiling_block(self):
+        with pytest.raises(ValueError):
+            Blocking(Lattice((4, 4, 4, 8)), (3, 2, 2, 2))
+
+    def test_rejects_odd_coarse(self):
+        # 4/1 = 4 fine, but 8/8 = 1 odd coarse extent
+        with pytest.raises(ValueError):
+            Blocking(Lattice((4, 4, 4, 8)), (1, 1, 1, 8))
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            Blocking(Lattice((4, 4, 4, 8)), (2, 2, 2))
+
+    def test_unit_block_direction(self):
+        b = Blocking(Lattice((4, 4, 4, 8)), (1, 2, 2, 2))
+        assert b.coarse.dims == (4, 2, 2, 4)
+
+
+class TestAggregates:
+    @pytest.fixture(scope="class")
+    def blocking(self):
+        return Blocking(Lattice((4, 4, 4, 8)), (2, 2, 2, 4))
+
+    def test_agg_sites_partition(self, blocking):
+        flat = np.sort(blocking.agg_sites.ravel())
+        assert np.array_equal(flat, np.arange(blocking.fine.volume))
+
+    def test_agg_of_site_consistent(self, blocking):
+        for agg in range(blocking.coarse.volume):
+            assert np.all(blocking.agg_of_site[blocking.agg_sites[agg]] == agg)
+
+    def test_site_slot_roundtrip(self, blocking):
+        sites = blocking.agg_sites[
+            blocking.agg_of_site, blocking.site_slot
+        ]
+        assert np.array_equal(sites, np.arange(blocking.fine.volume))
+
+    def test_aggregate_is_contiguous_block(self, blocking):
+        coords = blocking.fine.site_coords[blocking.agg_sites[0]]
+        for mu in range(4):
+            assert coords[:, mu].min() == 0
+            assert coords[:, mu].max() == blocking.block[mu] - 1
+
+    def test_slot_order_x_fastest(self, blocking):
+        coords = blocking.fine.site_coords[blocking.agg_sites[0]]
+        # slot 0 and slot 1 differ only in x
+        assert coords[1, 0] == coords[0, 0] + 1
+        assert np.array_equal(coords[1, 1:], coords[0, 1:])
+
+
+class TestBoundaryCrossing:
+    @pytest.fixture(scope="class")
+    def blocking(self):
+        return Blocking(Lattice((4, 4, 4, 8)), (2, 2, 2, 4))
+
+    def test_cross_fwd_matches_agg_change(self, blocking):
+        lat = blocking.fine
+        for mu in range(4):
+            cross = blocking.crosses_block_fwd(mu)
+            agg_change = (
+                blocking.agg_of_site[lat.fwd[mu]] != blocking.agg_of_site
+            )
+            # with >= 2 blocks per direction, crossing <=> aggregate change;
+            # wrap-around within a single coarse slice also counts as change
+            assert np.array_equal(cross, agg_change)
+
+    def test_cross_bwd_matches_agg_change(self, blocking):
+        lat = blocking.fine
+        for mu in range(4):
+            cross = blocking.crosses_block_bwd(mu)
+            agg_change = (
+                blocking.agg_of_site[lat.bwd[mu]] != blocking.agg_of_site
+            )
+            assert np.array_equal(cross, agg_change)
+
+    def test_unit_block_always_crosses(self):
+        b = Blocking(Lattice((4, 4, 4, 8)), (1, 2, 2, 2))
+        assert b.crosses_block_fwd(0).all()
+        assert b.crosses_block_bwd(0).all()
+
+    def test_crossing_fraction(self, blocking):
+        # a 2-wide block has half its sites on each mu face
+        assert blocking.crosses_block_fwd(0).mean() == 0.5

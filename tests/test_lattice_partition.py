@@ -1,0 +1,77 @@
+"""Domain-decomposition geometry."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import Lattice, Partition
+
+
+class TestConstruction:
+    def test_local_dims(self):
+        p = Partition(Lattice((4, 4, 4, 8)), (2, 1, 1, 2))
+        assert p.local_dims == (2, 4, 4, 4)
+        assert p.num_ranks == 4
+
+    def test_rejects_nontiling(self):
+        with pytest.raises(ValueError):
+            Partition(Lattice((4, 4, 4, 8)), (3, 1, 1, 1))
+
+    def test_rejects_odd_local(self):
+        # 4 / 2 = 2 fine; 4 / 4 = 1 odd local extent is rejected by Lattice
+        with pytest.raises(ValueError):
+            Partition(Lattice((4, 4, 4, 8)), (4, 1, 1, 1))
+
+    def test_trivial_partition(self):
+        p = Partition(Lattice((4, 4, 4, 8)), (1, 1, 1, 1))
+        assert p.num_ranks == 1
+        assert not any(p.is_partitioned(mu) for mu in range(4))
+
+
+class TestRankGrid:
+    @pytest.fixture(scope="class")
+    def part(self):
+        return Partition(Lattice((4, 4, 4, 8)), (2, 1, 2, 2))
+
+    def test_rank_coords_roundtrip(self, part):
+        for r in range(part.num_ranks):
+            assert part.rank_index(part.rank_coords(r)) == r
+
+    def test_neighbor_rank_periodic(self, part):
+        for r in range(part.num_ranks):
+            for mu in range(4):
+                fwd = part.neighbor_rank(r, mu, +1)
+                assert part.neighbor_rank(fwd, mu, -1) == r
+
+    def test_self_neighbor_when_unpartitioned(self, part):
+        for r in range(part.num_ranks):
+            assert part.neighbor_rank(r, 1, +1) == r
+
+
+class TestOwnership:
+    @pytest.fixture(scope="class")
+    def part(self):
+        return Partition(Lattice((4, 4, 4, 8)), (2, 2, 1, 2))
+
+    def test_owned_sites_partition_lattice(self, part):
+        flat = np.sort(part.owned_sites.ravel())
+        assert np.array_equal(flat, np.arange(part.global_lattice.volume))
+
+    def test_owned_sites_local_ordering(self, part):
+        # owned_sites[r] is ordered by local lexicographic index
+        g = part.global_lattice
+        for r in (0, part.num_ranks - 1):
+            coords = g.coords(part.owned_sites[r])
+            origin = coords[0]
+            local = coords - origin
+            assert np.array_equal(
+                part.local_lattice.index(local), np.arange(part.local_lattice.volume)
+            )
+
+    def test_face_sites(self, part):
+        for mu in range(4):
+            for side in (+1, -1):
+                face = part.face_sites(mu, side)
+                assert len(face) == part.face_volume[mu]
+                coords = part.local_lattice.site_coords[face]
+                expect = part.local_dims[mu] - 1 if side > 0 else 0
+                assert np.all(coords[:, mu] == expect)

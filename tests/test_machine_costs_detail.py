@@ -1,0 +1,103 @@
+"""Fine-grained checks on the machine-model cost composition."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.mapping import Strategy
+from repro.machine import (
+    MachineModel,
+    TITAN,
+    mg_level_specs,
+)
+from repro.machine.costs import StencilCost
+from repro.workloads import ISO48, ISO64
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MachineModel()
+
+
+@pytest.fixture(scope="module")
+def levels():
+    return mg_level_specs(ISO64.dims, ISO64.blockings[64], [24, 32])
+
+
+class TestStencilCost:
+    def test_fine_grid_overlaps_communication(self, model, levels):
+        # fine dslash: total = max(kernel, halo), not the sum
+        st = model.stencil_cost(levels[0], 512)
+        assert st.total_s == pytest.approx(max(st.kernel_s, st.halo_s))
+
+    def test_coarse_grid_does_not_overlap(self, model, levels):
+        # Section 6.5: the coarse implementation does not overlap
+        st = model.stencil_cost(levels[2], 512)
+        assert st.total_s == pytest.approx(st.kernel_s + st.halo_s)
+
+    def test_halo_grows_with_partitioned_dims(self, model, levels):
+        h64 = model.stencil_cost(levels[1], 64).halo_s
+        h512 = model.stencil_cost(levels[1], 512).halo_s
+        assert h512 > 0
+        # more cuts, smaller local volume: halo time per apply changes,
+        # but it must never be free once partitioned
+        assert h64 > 0
+
+    def test_half_precision_faster(self, model, levels):
+        full = model.stencil_cost(levels[0], 64, precision_bytes=4.0)
+        half = model.stencil_cost(levels[0], 64, precision_bytes=2.0)
+        assert half.kernel_s < full.kernel_s
+
+    def test_kernel_time_decreases_with_nodes(self, model, levels):
+        t = [model.stencil_cost(levels[0], n).kernel_s for n in (64, 256, 512)]
+        assert t[0] > t[1] > t[2]
+
+    def test_coarsest_kernel_time_flattens(self, model, levels):
+        # the coarsest grid stops strong-scaling: local volume hits 2^4
+        t64 = model.stencil_cost(levels[2], 64).kernel_s
+        t512 = model.stencil_cost(levels[2], 512).kernel_s
+        # less than the ideal 8x speedup from 8x the nodes
+        assert t64 / t512 < 6.0
+
+
+class TestStrategyDependence:
+    def test_baseline_strategy_ruins_coarse_levels(self, levels):
+        # the whole point of the paper: the machine model priced with
+        # site-only parallelism makes the coarsest level far slower
+        fine_grained = MachineModel(strategy=Strategy.DOT_PRODUCT)
+        naive = MachineModel(strategy=Strategy.BASELINE)
+        t_fg = fine_grained.stencil_cost(levels[2], 512).kernel_s
+        t_nv = naive.stencil_cost(levels[2], 512).kernel_s
+        assert t_nv > 20 * t_fg
+
+    def test_fine_level_indifferent_to_strategy(self, levels):
+        # the Wilson kernel uses site parallelism regardless
+        a = MachineModel(strategy=Strategy.DOT_PRODUCT).stencil_cost(levels[0], 64)
+        b = MachineModel(strategy=Strategy.BASELINE).stencil_cost(levels[0], 64)
+        assert a.kernel_s == pytest.approx(b.kernel_s)
+
+
+class TestTransferAndBlas:
+    def test_transfer_time_positive_and_scales(self, model, levels):
+        t64 = model.transfer_time(levels[0], levels[1], 64)
+        t512 = model.transfer_time(levels[0], levels[1], 512)
+        assert 0 < t512 < t64
+
+    def test_blas_respects_precision(self, model, levels):
+        t4 = model.blas_time(levels[0], 64, precision_bytes=4.0)
+        t2 = model.blas_time(levels[0], 64, precision_bytes=2.0)
+        assert t2 < t4
+
+    def test_reduction_dominated_by_allreduce_on_coarse(self, model, levels):
+        t = model.reduction_time(levels[2], 512)
+        assert t > TITAN.network.allreduce_time(512)
+        # the local kernel part is tiny compared to the collective
+        assert t < 2.5 * TITAN.network.allreduce_time(512)
+
+
+class TestProcGridConsistency:
+    def test_iso48_grids(self, model):
+        levels = mg_level_specs(ISO48.dims, ISO48.blockings[24], [24, 24])
+        for nodes in ISO48.node_counts:
+            for lev in levels:
+                grid = model.proc_grid(lev, nodes)
+                assert int(np.prod(grid)) == nodes

@@ -1,0 +1,221 @@
+"""The cluster (Titan) model: networks, process grids, solver pricing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    GEMINI,
+    MachineModel,
+    TITAN,
+    bicgstab_time,
+    choose_proc_grid,
+    halo_bytes_per_direction,
+    local_dims,
+    max_nodes_for_levels,
+    mg_level_specs,
+    mg_time,
+    node_power_watts,
+)
+from repro.reporting.experiments import synthetic_level_profile
+from repro.workloads import ISO64
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MachineModel()
+
+
+@pytest.fixture(scope="module")
+def iso64_levels():
+    return mg_level_specs(ISO64.dims, ISO64.blockings[64], [24, 32])
+
+
+class TestNetwork:
+    def test_message_time_alpha_beta(self):
+        t_small = GEMINI.message_time(0)
+        t_big = GEMINI.message_time(10**6)
+        assert t_small == pytest.approx(1.5e-6)
+        assert t_big > t_small
+
+    def test_allreduce_log_scaling(self):
+        t64 = GEMINI.allreduce_time(64)
+        t512 = GEMINI.allreduce_time(512)
+        assert t512 > t64
+        # log2(512)/log2(64) = 9/6
+        expected_ratio = (8 + 4 * 9) / (8 + 4 * 6)
+        assert t512 / t64 == pytest.approx(expected_ratio, rel=1e-6)
+
+    def test_single_rank_allreduce_cheap(self):
+        assert GEMINI.allreduce_time(1) < GEMINI.allreduce_time(2)
+
+    def test_halo_time_empty(self):
+        assert GEMINI.halo_time([0.0, 0.0, 0.0, 0.0]) == 0.0
+
+
+class TestProcGrid:
+    def test_tiles_lattice(self):
+        cases = [
+            ((64, 64, 64, 128), (32, 64, 128, 256, 512)),
+            ((48, 48, 48, 96), (24, 48)),
+            ((40, 40, 40, 256), (20, 32)),
+        ]
+        for dims, node_counts in cases:
+            for nodes in node_counts:
+                grid = choose_proc_grid(dims, nodes)
+                assert int(np.prod(grid)) == nodes
+                assert all(d % g == 0 for d, g in zip(dims, grid))
+
+    def test_aniso40_with_factor_five(self):
+        grid = choose_proc_grid((40, 40, 40, 256), 20)
+        assert int(np.prod(grid)) == 20
+        assert all(d % g == 0 for d, g in zip((40, 40, 40, 256), grid))
+
+    def test_impossible_grid_rejected(self):
+        with pytest.raises(ValueError):
+            choose_proc_grid((4, 4, 4, 4), 7)
+
+    def test_local_dims(self):
+        grid = (1, 1, 2, 4)
+        assert local_dims((8, 8, 8, 16), grid) == (8, 8, 4, 4)
+
+    def test_prefers_largest_dimension(self):
+        grid = choose_proc_grid((4, 4, 4, 256), 4)
+        assert grid[3] == 4
+
+
+class TestHaloBytes:
+    def test_zero_when_unpartitioned(self):
+        out = halo_bytes_per_direction((8, 8, 8, 16), (1, 1, 1, 2), 12, 4.0)
+        assert out[0] == out[1] == out[2] == 0.0
+        assert out[3] > 0
+
+    def test_projection_halves_payload(self):
+        full = halo_bytes_per_direction((8, 8, 8, 16), (1, 1, 1, 2), 12, 4.0)
+        proj = halo_bytes_per_direction(
+            (8, 8, 8, 16), (1, 1, 1, 2), 12, 4.0, projected=True
+        )
+        assert proj[3] == full[3] / 2
+
+
+class TestLevelSpecs:
+    def test_iso64_levels(self, iso64_levels):
+        l0, l1, l2 = iso64_levels
+        assert l0.dims == (64, 64, 64, 128) and l0.fine and l0.dof == 12
+        assert l1.dims == (16, 16, 16, 32) and not l1.fine and l1.dof == 48
+        assert l2.dims == (8, 8, 8, 16) and l2.dof == 64
+
+    def test_bad_blocking_rejected(self):
+        with pytest.raises(ValueError):
+            mg_level_specs((64, 64, 64, 128), [(5, 4, 4, 4)], [24])
+
+    def test_mismatched_nulls_rejected(self):
+        with pytest.raises(ValueError):
+            mg_level_specs((64, 64, 64, 128), [(4, 4, 4, 4)], [24, 32])
+
+    def test_max_nodes_is_512_for_iso64(self, iso64_levels):
+        # Section 7.1: "Our current implementation cannot scale beyond
+        # this node count" — 512 for Iso64 (2^4 coarsest per node)
+        assert max_nodes_for_levels(iso64_levels) == 512
+
+
+class TestSolverPricing:
+    def test_bicgstab_strong_scales(self, model, iso64_levels):
+        times = [
+            bicgstab_time(model, iso64_levels[0], n, 2800).total_s
+            for n in (64, 128, 256, 512)
+        ]
+        assert times[0] > times[1] > times[2] > times[3]
+
+    def test_bicgstab_order_of_magnitude(self, model, iso64_levels):
+        # paper: 22.2 s at 64 nodes for 2805 iterations
+        t = bicgstab_time(model, iso64_levels[0], 64, 2805).total_s
+        assert 10 < t < 60
+
+    def test_mg_faster_than_bicgstab(self, model, iso64_levels):
+        for nodes in (64, 512):
+            bt = bicgstab_time(model, iso64_levels[0], nodes, 2800).total_s
+            mt = mg_time(
+                model, iso64_levels, nodes, synthetic_level_profile(17), 17
+            ).total_s
+            assert 2 < bt / mt < 20
+
+    def test_coarsest_fraction_grows_with_nodes(self, model, iso64_levels):
+        # the Figure 4 invariant
+        fracs = []
+        for nodes in (64, 128, 256, 512):
+            st = mg_time(model, iso64_levels, nodes, synthetic_level_profile(17), 17)
+            fracs.append(st.level_seconds[2] / st.total_s)
+        assert all(b > a for a, b in zip(fracs, fracs[1:]))
+
+    def test_min_cost_at_smallest_partition(self, model, iso64_levels):
+        # paper: "In all cases the minimum cost occurs on the least
+        # numbers of nodes"
+        costs = [
+            n * mg_time(model, iso64_levels, n, synthetic_level_profile(17), 17).total_s
+            for n in (64, 128, 256, 512)
+        ]
+        assert costs[0] == min(costs)
+
+    def test_per_iteration_time(self, model, iso64_levels):
+        st = bicgstab_time(model, iso64_levels[0], 64, 100)
+        assert st.per_iteration_s == pytest.approx(st.total_s / 100)
+
+    def test_mg_level_seconds_sum_to_total(self, model, iso64_levels):
+        st = mg_time(model, iso64_levels, 128, synthetic_level_profile(17), 17)
+        assert sum(st.level_seconds.values()) == pytest.approx(st.total_s)
+
+    def test_accepts_string_level_keys(self, model, iso64_levels):
+        prof = {str(k): v for k, v in synthetic_level_profile(10).items()}
+        st = mg_time(model, iso64_levels, 64, prof, 10)
+        assert st.total_s > 0
+
+
+class TestNetworkNoise:
+    def test_pollution_hurts_bicgstab_more_than_mg(self, iso64_levels):
+        """Section 7.2 explains the 128-node BiCGStab anomaly by cross-job
+        network pollution, 'BiCGStab is more strictly communications
+        limited compared to MG's more latency-limited profile' — a
+        noisy network must inflate BiCGStab relatively more."""
+        from dataclasses import replace
+
+        from repro.machine import ClusterSpec, GEMINI, TITAN
+
+        def times(noise):
+            net = replace(GEMINI, noise_factor=noise)
+            cluster = ClusterSpec(name="t", device=TITAN.device, network=net)
+            model = MachineModel(cluster)
+            bt = bicgstab_time(model, iso64_levels[0], 128, 2807).total_s
+            mt = mg_time(
+                model, iso64_levels, 128, synthetic_level_profile(17), 17
+            ).total_s
+            return bt, mt
+
+        clean_b, clean_m = times(1.0)
+        noisy_b, noisy_m = times(3.0)
+        assert noisy_b / clean_b > noisy_m / clean_m
+
+
+class TestPower:
+    def test_mg_uses_less_power(self, model):
+        levels = mg_level_specs((48, 48, 48, 96), [(4, 4, 4, 4), (3, 3, 3, 2)], [24, 24])
+        bt = bicgstab_time(model, levels[0], 48, 3522)
+        mt = mg_time(model, levels, 48, synthetic_level_profile(17.2), 17.2)
+        p_b = node_power_watts(TITAN, bt)
+        p_m = node_power_watts(TITAN, mt)
+        # paper: 83 W vs 72 W — MG ~13% lower
+        assert p_m < p_b
+        assert 0.80 < p_m / p_b < 0.95
+
+    def test_power_in_titan_range(self, model):
+        levels = mg_level_specs((48, 48, 48, 96), [(4, 4, 4, 4), (3, 3, 3, 2)], [24, 24])
+        bt = bicgstab_time(model, levels[0], 48, 3522)
+        assert 60 < node_power_watts(TITAN, bt) < 100
+
+    def test_mg_sustains_fewer_gflops(self, model):
+        # Section 7.2: MG sustains 3-5x less GFLOPS than BiCGStab
+        levels = mg_level_specs((48, 48, 48, 96), [(4, 4, 4, 4), (3, 3, 3, 2)], [24, 24])
+        bt = bicgstab_time(model, levels[0], 48, 3522)
+        mt = mg_time(model, levels, 48, synthetic_level_profile(17.2), 17.2)
+        assert 1.5 < bt.gflops / mt.gflops < 6

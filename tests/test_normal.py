@@ -1,0 +1,47 @@
+"""Adjoint and normal operators (CGNE/CGNR substrate)."""
+
+import numpy as np
+
+from repro.dirac import AdjointOperator, NormalOperator
+from tests.conftest import random_spinor
+
+
+class TestAdjoint:
+    def test_is_true_adjoint(self, wilson44, lat44):
+        adj = AdjointOperator(wilson44)
+        v = random_spinor(lat44, seed=40)
+        w = random_spinor(lat44, seed=41)
+        lhs = np.vdot(w.ravel(), wilson44.apply(v).ravel())
+        rhs = np.vdot(adj.apply(w).ravel(), v.ravel())
+        assert abs(lhs - rhs) < 1e-9 * abs(lhs)
+
+    def test_double_adjoint_is_identity(self, wilson44, lat44):
+        adj2 = AdjointOperator(AdjointOperator(wilson44))
+        v = random_spinor(lat44, seed=42)
+        np.testing.assert_allclose(adj2.apply(v), wilson44.apply(v), atol=1e-12)
+
+
+class TestNormal:
+    def test_hermitian(self, wilson44, lat44):
+        n = NormalOperator(wilson44)
+        v = random_spinor(lat44, seed=43)
+        w = random_spinor(lat44, seed=44)
+        lhs = np.vdot(w.ravel(), n.apply(v).ravel())
+        rhs = np.conj(np.vdot(v.ravel(), n.apply(w).ravel()))
+        assert abs(lhs - rhs) < 1e-9 * abs(lhs)
+
+    def test_positive_definite(self, wilson44, lat44):
+        n = NormalOperator(wilson44)
+        for seed in (45, 46, 47):
+            v = random_spinor(lat44, seed=seed)
+            q = np.vdot(v.ravel(), n.apply(v).ravel())
+            assert q.real > 0
+            assert abs(q.imag) < 1e-9 * q.real
+
+    def test_equals_mdag_m(self, wilson44, lat44):
+        n = NormalOperator(wilson44)
+        adj = AdjointOperator(wilson44)
+        v = random_spinor(lat44, seed=48)
+        np.testing.assert_allclose(
+            n.apply(v), adj.apply(wilson44.apply(v)), atol=1e-12
+        )

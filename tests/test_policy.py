@@ -1,0 +1,56 @@
+"""Algorithm-policy autotuning."""
+
+import numpy as np
+import pytest
+
+from repro.dirac import WilsonCloverOperator
+from repro.gauge import disordered_field
+from repro.lattice import Lattice
+from repro.mg import LevelParams, MGParams
+from repro.mg.policy import tune_policy
+from tests.conftest import random_spinor
+
+
+@pytest.fixture(scope="module")
+def problem():
+    lat = Lattice((4, 4, 4, 8))
+    u = disordered_field(lat, np.random.default_rng(11), 0.55, smear_steps=1)
+    op = WilsonCloverOperator(u, mass=-1.406 + 0.05, c_sw=1.0)
+    b = random_spinor(lat, seed=900)
+    params = MGParams(
+        levels=[LevelParams(block=(2, 2, 2, 4), n_null=6, null_iters=40)],
+        outer_tol=1e-8,
+    )
+    return op, params, b
+
+
+class TestPolicyTuner:
+    def test_returns_converged_best(self, problem):
+        op, params, b = problem
+        result = tune_policy(
+            op, params, b, np.random.default_rng(1),
+            cycle_types=("K", "V"), smoother_steps=(4,),
+        )
+        assert result.best.converged
+        assert result.best.cycle_type in ("K", "V")
+        assert len(result.candidates) == 2
+
+    def test_best_is_fastest_converged(self, problem):
+        op, params, b = problem
+        result = tune_policy(
+            op, params, b, np.random.default_rng(1),
+            cycle_types=("K", "V"), smoother_steps=(2, 4),
+        )
+        converged = [c for c in result.candidates if c.converged]
+        assert result.best.solve_seconds == min(c.solve_seconds for c in converged)
+
+    def test_tuned_params_usable(self, problem):
+        op, params, b = problem
+        result = tune_policy(
+            op, params, b, np.random.default_rng(1),
+            cycle_types=("K",), smoother_steps=(4,),
+        )
+        from repro.mg import MultigridSolver
+
+        solver = MultigridSolver(op, result.params, np.random.default_rng(0))
+        assert solver.solve(b).converged

@@ -1,0 +1,113 @@
+"""Precision emulation: single rounding and half fixed-point storage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.precision import (
+    Precision,
+    apply_precision,
+    dequantize_half,
+    dtype_of,
+    half_roundtrip,
+    quantize_half,
+    rel_epsilon,
+)
+
+
+def _random_sites(seed, n_sites=16, shape=(4, 3)):
+    r = np.random.default_rng(seed)
+    s = (n_sites,) + shape
+    return r.standard_normal(s) + 1j * r.standard_normal(s)
+
+
+class TestPolicy:
+    def test_double_is_identity(self):
+        x = _random_sites(0)
+        assert np.array_equal(apply_precision(x, Precision.DOUBLE), x)
+
+    def test_single_rounds(self):
+        x = _random_sites(1)
+        y = apply_precision(x, Precision.SINGLE)
+        assert not np.array_equal(x, y)
+        assert np.abs(x - y).max() < 1e-6 * np.abs(x).max()
+
+    def test_single_idempotent(self):
+        x = apply_precision(_random_sites(2), Precision.SINGLE)
+        assert np.array_equal(apply_precision(x, Precision.SINGLE), x)
+
+    def test_dtype_of(self):
+        assert dtype_of(Precision.DOUBLE) == np.complex128
+        assert dtype_of(Precision.SINGLE) == np.complex64
+        assert dtype_of(Precision.HALF) == np.complex64
+
+    def test_rel_epsilon_ordering(self):
+        assert (
+            rel_epsilon(Precision.DOUBLE)
+            < rel_epsilon(Precision.SINGLE)
+            < rel_epsilon(Precision.HALF)
+        )
+
+    def test_bytes_per_real(self):
+        assert Precision.DOUBLE.bytes_per_real == 8.0
+        assert Precision.HALF.bytes_per_real == 2.0
+
+
+class TestHalf:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_error_bound(self, seed):
+        x = _random_sites(seed)
+        y = half_roundtrip(x)
+        # error per component bounded by the per-site scale times the
+        # fixed-point quantum (plus rounding half-ulp)
+        scale = np.abs(np.stack([x.real, x.imag], -1)).reshape(x.shape[0], -1).max(1)
+        bound = scale / 32767.0
+        err = np.abs(x - y).reshape(x.shape[0], -1).max(1)
+        assert np.all(err <= bound * 1.5)
+
+    def test_zero_field(self):
+        x = np.zeros((4, 4, 3), dtype=complex)
+        assert np.array_equal(half_roundtrip(x), x)
+
+    def test_quantize_shapes(self):
+        x = _random_sites(3, n_sites=5)
+        fixed, scale = quantize_half(x)
+        assert fixed.shape == x.shape + (2,)
+        assert fixed.dtype == np.int16
+        assert scale.shape == (5,)
+        assert scale.dtype == np.float32
+
+    def test_scale_is_max_abs_component(self):
+        x = _random_sites(4, n_sites=3)
+        _, scale = quantize_half(x)
+        expect = np.abs(np.stack([x.real, x.imag], -1)).reshape(3, -1).max(1)
+        np.testing.assert_allclose(scale, expect.astype(np.float32), rtol=1e-6)
+
+    def test_max_component_exactly_representable(self):
+        x = np.zeros((1, 2, 2), dtype=complex)
+        x[0, 0, 0] = 1.5
+        y = half_roundtrip(x)
+        np.testing.assert_allclose(y[0, 0, 0].real, 1.5, rtol=1e-6)
+
+    def test_dequantize_inverse_of_quantize(self):
+        x = _random_sites(5)
+        fixed, scale = quantize_half(x)
+        y1 = dequantize_half(fixed, scale)
+        y2 = half_roundtrip(x)
+        assert np.array_equal(y1, y2)
+
+    def test_per_site_normalization_independent(self):
+        # scaling one site must not change another site's quantization
+        x = _random_sites(6, n_sites=2)
+        y = x.copy()
+        y[1] *= 1e6
+        a = half_roundtrip(x)[0]
+        b = half_roundtrip(y)[0]
+        assert np.array_equal(a, b)
+
+    def test_roundtrip_idempotent(self):
+        x = half_roundtrip(_random_sites(7))
+        y = half_roundtrip(x)
+        np.testing.assert_allclose(x, y, atol=1e-7, rtol=0)

@@ -1,0 +1,71 @@
+"""Spin projection (half-spinor) path of the Wilson hop."""
+
+import numpy as np
+import pytest
+
+from repro.dirac import projectors
+from repro.dirac.projection import (
+    halo_payload_ratio,
+    project,
+    projected_hop,
+    reconstruct,
+)
+from repro.lattice import NDIM
+from tests.conftest import random_spinor
+
+
+class TestProjectReconstruct:
+    @pytest.mark.parametrize("mu", range(NDIM))
+    @pytest.mark.parametrize("sign", [+1, -1])
+    def test_roundtrip_is_projection(self, lat44, mu, sign):
+        # reconstruct(project(v)) == P^{∓mu} v
+        v = random_spinor(lat44, seed=40 + mu)
+        minus_p, plus_p = projectors()
+        proj = minus_p[mu] if sign > 0 else plus_p[mu]
+        expect = np.einsum("st,xtc->xsc", proj, v)
+        got = reconstruct(mu, sign, project(mu, sign, v))
+        np.testing.assert_allclose(got, expect, atol=1e-12)
+
+    def test_half_spinor_shape(self, lat44):
+        v = random_spinor(lat44, seed=50)
+        half = project(0, +1, v)
+        assert half.shape == (lat44.volume, 2, 3)
+
+    def test_payload_ratio(self):
+        assert halo_payload_ratio() == 0.5
+
+    def test_projection_scaling_through_compress(self, lat44):
+        # the hop factors are 2x true projectors: P^2 = 2P, so the
+        # compress/reconstruct pair applied twice doubles the spinor
+        v = random_spinor(lat44, seed=51)
+        once = reconstruct(1, -1, project(1, -1, v))
+        twice = reconstruct(1, -1, project(1, -1, once))
+        np.testing.assert_allclose(twice, 2 * once, atol=1e-12)
+
+
+class TestProjectedHop:
+    @pytest.mark.parametrize("mu", range(NDIM))
+    @pytest.mark.parametrize("sign", [+1, -1])
+    def test_matches_direct_hop(self, wilson44, lat44, mu, sign):
+        # the half-spinor code path is exactly the direct hop
+        v = random_spinor(lat44, seed=60 + mu)
+        direct = wilson44.apply_hop(mu, sign, v)
+        via_projection = projected_hop(wilson44, mu, sign, v)
+        np.testing.assert_allclose(via_projection, direct, atol=1e-12)
+
+    def test_full_operator_through_projection(self, wilson44, lat44):
+        v = random_spinor(lat44, seed=70)
+        out = wilson44.apply_diag(v)
+        for mu in range(NDIM):
+            out += projected_hop(wilson44, mu, +1, v)
+            out += projected_hop(wilson44, mu, -1, v)
+        np.testing.assert_allclose(out, wilson44.apply(v), atol=1e-11)
+
+    def test_antiperiodic_phases_preserved(self, gauge44, lat44):
+        from repro.dirac import WilsonCloverOperator
+
+        op = WilsonCloverOperator(gauge44, mass=0.1, antiperiodic_t=True)
+        v = random_spinor(lat44, seed=71)
+        np.testing.assert_allclose(
+            projected_hop(op, 3, +1, v), op.apply_hop(3, +1, v), atol=1e-12
+        )

@@ -1,0 +1,108 @@
+"""Report generators: formatting and replay-mode content."""
+
+import pytest
+
+from repro.reporting import fig2, fig3, fig4, table1, table2, table3
+from repro.reporting.experiments import compute_all_rows, synthetic_level_profile
+from repro.reporting.format import render_series, render_table
+
+
+class TestFormat:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_render_table_none_as_dash(self):
+        out = render_table(["x"], [[None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_render_series(self):
+        out = render_series("L", [10, 2], {"s": [1.0, 2.0]})
+        assert "10" in out and "s" in out
+
+
+class TestStaticTables:
+    def test_table1_contains_datasets(self):
+        out = table1.render()
+        for label in ("Aniso40", "Iso48", "Iso64"):
+            assert label in out
+        assert "256" in out  # Aniso40 Lt
+
+    def test_table2_contains_blockings(self):
+        out = table2.render()
+        assert "5x5x2x8" in out
+        assert "3x3x3x2" in out
+        assert "1e-07" in out
+
+
+class TestFig2:
+    def test_series_structure(self):
+        series = fig2.compute()
+        assert len(series) == 8  # 4 strategies x 2 colors
+        for vals in series.values():
+            assert len(vals) == len(fig2.LATTICE_LENGTHS)
+
+    def test_render_mentions_speedup(self):
+        out = fig2.render()
+        assert "speedup" in out
+        assert "Figure 2" in out
+
+
+class TestReplayRows:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return compute_all_rows(mode="replay")
+
+    def test_covers_all_paper_rows(self, rows):
+        assert len(rows) == 31
+
+    def test_mg_speedups_positive(self, rows):
+        for r in rows:
+            if r.solver != "BiCGStab":
+                assert r.speedup is not None and r.speedup > 1.5
+
+    def test_speedup_band_matches_paper_shape(self, rows):
+        # paper: typically 5-8x, above 10x for some Iso64 points; the
+        # model should land every MG point between 2x and 15x
+        sp = [r.speedup for r in rows if r.speedup is not None]
+        assert min(sp) > 2 and max(sp) < 15
+
+    def test_render_table3(self, rows):
+        out = table3.render(rows, "replay")
+        assert "Table 3" in out
+        assert "BiCGStab" in out and "24/32" in out
+
+    def test_fig3_render(self, rows):
+        out = fig3.render(rows, "replay")
+        assert out.count("Figure 3 panel") == 3
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            compute_all_rows(mode="nonsense")
+
+
+class TestFig4:
+    def test_coarsest_fraction_grows(self):
+        nodes, per_level = fig4.compute(mode="replay")
+        totals = [
+            sum(per_level[k][i] for k in per_level) for i in range(len(nodes))
+        ]
+        fracs = [per_level["level 3"][i] / totals[i] for i in range(len(nodes))]
+        assert all(b > a for a, b in zip(fracs, fracs[1:]))
+
+    def test_render(self):
+        out = fig4.render(mode="replay")
+        assert "Figure 4" in out and "level 3" in out
+
+
+class TestSyntheticProfile:
+    def test_scales_with_outer_iterations(self):
+        p1 = synthetic_level_profile(1.0)
+        p10 = synthetic_level_profile(10.0)
+        for lvl in (0, 1, 2):
+            assert p10[lvl]["op_applies"] == pytest.approx(10 * p1[lvl]["op_applies"])
+
+    def test_has_three_levels(self):
+        assert set(synthetic_level_profile(5.0)) == {0, 1, 2}

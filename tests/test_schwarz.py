@@ -1,0 +1,97 @@
+"""Schwarz (domain-decomposed) smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import Partition
+from repro.mg import DomainDecomposedOperator, SchwarzMRSmoother
+from repro.solvers import gcr, norm
+from tests.conftest import random_spinor
+
+
+@pytest.fixture(scope="module")
+def dd_op(wilson448, lat448):
+    part = Partition(lat448, (1, 1, 2, 2))
+    return DomainDecomposedOperator.from_partition(wilson448, part)
+
+
+class TestDomainDecomposedOperator:
+    def test_diag_unchanged(self, dd_op, wilson448, lat448):
+        v = random_spinor(lat448, seed=500)
+        np.testing.assert_array_equal(dd_op.apply_diag(v), wilson448.apply_diag(v))
+
+    def test_cuts_exactly_the_crossing_terms(self, wilson448, lat448):
+        # difference between full and cut operator must live only on
+        # domain-boundary sites (partition only t so interior sites exist)
+        part = Partition(lat448, (1, 1, 1, 2))
+        dd_op = DomainDecomposedOperator.from_partition(wilson448, part)
+        v = random_spinor(lat448, seed=501)
+        diff = np.abs(wilson448.apply(v) - dd_op.apply(v)).sum(axis=(1, 2))
+        domain = dd_op.domain_of_site
+        boundary = np.zeros(lat448.volume, dtype=bool)
+        for mu in range(4):
+            boundary |= domain[lat448.fwd[mu]] != domain
+            boundary |= domain[lat448.bwd[mu]] != domain
+        assert np.abs(diff[~boundary]).max() < 1e-13
+        assert diff[boundary].max() > 1e-8
+
+    def test_block_diagonal_over_domains(self, dd_op, lat448):
+        # input supported on one domain yields output on that domain only
+        v = random_spinor(lat448, seed=502)
+        mask = dd_op.domain_of_site == 0
+        v[~mask] = 0
+        out = dd_op.apply(v)
+        assert np.abs(out[~mask]).max() < 1e-13
+
+    def test_cut_fraction(self, dd_op):
+        # partition (1,1,2,2) of (4,4,4,8): local z extent 2 cuts one
+        # z-hop per site; local t extent 4 cuts hops on half the sites
+        assert dd_op.cut_fraction() == pytest.approx(1.5 / 8)
+
+    def test_trivial_partition_cuts_nothing(self, wilson448, lat448):
+        part = Partition(lat448, (1, 1, 1, 1))
+        dd = DomainDecomposedOperator.from_partition(wilson448, part)
+        v = random_spinor(lat448, seed=503)
+        np.testing.assert_allclose(dd.apply(v), wilson448.apply(v), atol=1e-13)
+
+    def test_bad_domain_map_rejected(self, wilson448):
+        with pytest.raises(ValueError):
+            DomainDecomposedOperator(wilson448, np.zeros(7, dtype=int))
+
+    def test_mismatched_partition_rejected(self, wilson448):
+        from repro.lattice import Lattice
+
+        with pytest.raises(ValueError):
+            DomainDecomposedOperator.from_partition(
+                wilson448, Partition(Lattice((4, 4, 4, 4)), (1, 1, 1, 2))
+            )
+
+
+class TestSchwarzSmoother:
+    def test_reduces_residual(self, wilson448, lat448):
+        part = Partition(lat448, (1, 1, 2, 2))
+        smoother = SchwarzMRSmoother(wilson448, part, steps=4)
+        r = random_spinor(lat448, seed=504)
+        z = smoother.apply(r)
+        assert norm(r - wilson448.apply(z)) < norm(r)
+
+    def test_accelerates_gcr(self, wilson448, lat448):
+        part = Partition(lat448, (1, 1, 2, 2))
+        smoother = SchwarzMRSmoother(wilson448, part, steps=4)
+        b = random_spinor(lat448, seed=505)
+        plain = gcr(wilson448, b, tol=1e-8, maxiter=3000)
+        pre = gcr(wilson448, b, tol=1e-8, maxiter=3000, preconditioner=smoother)
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    def test_weaker_than_global_smoother(self, wilson448, lat448):
+        # cutting couplings must not make the smoother stronger
+        from repro.solvers import MRSmoother
+
+        part = Partition(lat448, (2, 2, 2, 2))
+        schwarz = SchwarzMRSmoother(wilson448, part, steps=4)
+        global_ = MRSmoother(wilson448, steps=4)
+        r = random_spinor(lat448, seed=506)
+        res_schwarz = norm(r - wilson448.apply(schwarz.apply(r)))
+        res_global = norm(r - wilson448.apply(global_.apply(r)))
+        assert res_global <= res_schwarz * 1.05

@@ -1,0 +1,53 @@
+"""Multigrid setup cost pricing and amortization."""
+
+import pytest
+
+from repro.machine import MachineModel, bicgstab_time, mg_level_specs, mg_time
+from repro.machine.setup_cost import amortization_solves, mg_setup_time
+from repro.reporting.experiments import synthetic_level_profile
+from repro.workloads import ISO64
+
+
+@pytest.fixture(scope="module")
+def priced():
+    model = MachineModel()
+    levels = mg_level_specs(ISO64.dims, ISO64.blockings[64], [24, 32])
+    setup = mg_setup_time(model, levels, 64, [24, 32], null_iters=100)
+    bt = bicgstab_time(model, levels[0], 64, 2805)
+    mt = mg_time(model, levels, 64, synthetic_level_profile(17), 17)
+    return setup, bt, mt
+
+
+class TestSetupCost:
+    def test_positive_components(self, priced):
+        setup, _, _ = priced
+        assert setup.null_vector_s > 0 and setup.galerkin_s > 0
+        assert setup.total_s == pytest.approx(setup.null_vector_s + setup.galerkin_s)
+
+    def test_null_generation_dominates(self, priced):
+        # 100 relaxation iterations per vector dwarf the Galerkin product
+        setup, _, _ = priced
+        assert setup.null_vector_s > setup.galerkin_s
+
+    def test_setup_worth_tens_of_solves(self, priced):
+        # the setup costs the equivalent of a modest number of MG solves
+        setup, _, mt = priced
+        ratio = setup.total_s / mt.total_s
+        assert 1 < ratio < 500
+
+
+class TestAmortization:
+    def test_small_against_paper_workloads(self, priced):
+        # O(1e5)-O(1e6) solves per configuration (Section 7.1): the
+        # break-even must be orders of magnitude below that
+        setup, bt, mt = priced
+        n = amortization_solves(setup.total_s, bt.total_s, mt.total_s)
+        assert n < 100
+
+    def test_infinite_when_mg_slower(self):
+        assert amortization_solves(10.0, 1.0, 2.0) == float("inf")
+
+    def test_linear_in_setup(self):
+        a = amortization_solves(10.0, 3.0, 1.0)
+        b = amortization_solves(20.0, 3.0, 1.0)
+        assert b == pytest.approx(2 * a)

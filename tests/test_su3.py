@@ -1,0 +1,117 @@
+"""SU(3) group/algebra utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gauge import (
+    dagger,
+    gell_mann,
+    project_su3,
+    random_hermitian_traceless,
+    random_su3,
+    su3_exp,
+    traceless_antihermitian,
+)
+
+EYE = np.eye(3)
+
+
+def _unitarity(m):
+    return np.abs(m @ dagger(m) - EYE).max()
+
+
+class TestGellMann:
+    def test_count(self):
+        assert gell_mann().shape == (8, 3, 3)
+
+    def test_hermitian(self):
+        lam = gell_mann()
+        assert np.abs(lam - dagger(lam)).max() < 1e-15
+
+    def test_traceless(self):
+        tr = np.einsum("aii->a", gell_mann())
+        assert np.abs(tr).max() < 1e-15
+
+    def test_orthogonality(self):
+        lam = gell_mann()
+        gram = np.einsum("aij,bji->ab", lam, lam)
+        np.testing.assert_allclose(gram, 2 * np.eye(8), atol=1e-14)
+
+
+class TestRandomSU3:
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_special_unitary(self, seed):
+        u = random_su3(np.random.default_rng(seed), 10)
+        assert _unitarity(u) < 1e-13
+        assert np.abs(np.linalg.det(u) - 1).max() < 1e-13
+
+    def test_haar_trace_statistics(self):
+        # for Haar SU(3), E[tr U] = 0
+        u = random_su3(np.random.default_rng(0), 4000)
+        mean_tr = np.einsum("nii->n", u).mean()
+        assert abs(mean_tr) < 0.1
+
+
+class TestExpMap:
+    def test_unitary_output(self):
+        h = random_hermitian_traceless(np.random.default_rng(1), 20, scale=1.3)
+        u = su3_exp(h)
+        assert _unitarity(u) < 1e-13
+        assert np.abs(np.linalg.det(u) - 1).max() < 1e-12
+
+    def test_zero_gives_identity(self):
+        u = su3_exp(np.zeros((3, 3, 3)))
+        np.testing.assert_allclose(u, np.broadcast_to(EYE, (3, 3, 3)), atol=1e-15)
+
+    def test_additive_in_commuting_case(self):
+        h = random_hermitian_traceless(np.random.default_rng(2), 1)
+        u1 = su3_exp(h) @ su3_exp(h)
+        u2 = su3_exp(2 * h)
+        np.testing.assert_allclose(u1, u2, atol=1e-12)
+
+    def test_inverse_is_dagger(self):
+        h = random_hermitian_traceless(np.random.default_rng(3), 5)
+        u = su3_exp(h)
+        np.testing.assert_allclose(su3_exp(-h), dagger(u), atol=1e-13)
+
+
+class TestProjection:
+    def test_projects_back_to_su3(self):
+        rng = np.random.default_rng(4)
+        u = random_su3(rng, 10)
+        noisy = u + 0.05 * (
+            rng.standard_normal((10, 3, 3)) + 1j * rng.standard_normal((10, 3, 3))
+        )
+        p = project_su3(noisy)
+        assert _unitarity(p) < 1e-13
+        assert np.abs(np.linalg.det(p) - 1).max() < 1e-12
+        # small perturbation: projection lands near the original
+        assert np.abs(p - u).max() < 0.2
+
+    def test_fixed_point_on_su3(self):
+        u = random_su3(np.random.default_rng(5), 8)
+        np.testing.assert_allclose(project_su3(u), u, atol=1e-12)
+
+
+class TestTracelessAntihermitian:
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_properties(self, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.standard_normal((6, 3, 3)) + 1j * rng.standard_normal((6, 3, 3))
+        a = traceless_antihermitian(m)
+        assert np.abs(a + dagger(a)).max() < 1e-13
+        assert np.abs(np.einsum("nii->n", a)).max() < 1e-13
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(6)
+        m = rng.standard_normal((4, 3, 3)) + 1j * rng.standard_normal((4, 3, 3))
+        a = traceless_antihermitian(m)
+        np.testing.assert_allclose(traceless_antihermitian(a), a, atol=1e-14)
+
+    def test_kills_hermitian_part(self):
+        h = random_hermitian_traceless(np.random.default_rng(7), 4)
+        assert np.abs(traceless_antihermitian(h)).max() < 1e-13

@@ -1,0 +1,49 @@
+"""Throughput scheduling of the analysis workload."""
+
+import pytest
+
+from repro.machine import MachineModel, mg_level_specs, mg_time
+from repro.machine.throughput import best_partition, throughput_schedule
+from repro.reporting.experiments import synthetic_level_profile
+from repro.workloads import ISO64
+
+
+class TestScheduling:
+    def test_smallest_partition_wins_for_sublinear_scaling(self):
+        # time falls slower than 1/p => throughput favors small partitions
+        wall = {64: 7.0, 128: 4.4, 256: 2.9, 512: 2.1}
+        best = best_partition(wall, total_nodes=512)
+        assert best.nodes_per_job == 64
+        assert best.concurrent_jobs == 8
+
+    def test_perfect_scaling_is_throughput_neutral(self):
+        wall = {64: 8.0, 128: 4.0, 256: 2.0}
+        ranked = throughput_schedule(wall, total_nodes=256)
+        rates = [c.solves_per_hour for c in ranked]
+        assert max(rates) == pytest.approx(min(rates))
+
+    def test_partitions_exceeding_allocation_skipped(self):
+        wall = {64: 8.0, 512: 2.0}
+        ranked = throughput_schedule(wall, total_nodes=128)
+        assert all(c.nodes_per_job <= 128 for c in ranked)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_partition({512: 2.0}, total_nodes=64)
+
+    def test_model_times_favor_smallest_partition(self):
+        # the paper's observation, end to end through the machine model
+        model = MachineModel()
+        levels = mg_level_specs(ISO64.dims, ISO64.blockings[64], [24, 32])
+        wall = {
+            n: mg_time(model, levels, n, synthetic_level_profile(17), 17).total_s
+            for n in ISO64.node_counts
+        }
+        best = best_partition(wall, total_nodes=512)
+        assert best.nodes_per_job == 64
+
+    def test_job_seconds_scales_with_solves(self):
+        wall = {64: 5.0}
+        one = throughput_schedule(wall, 64, solves_per_job=1)[0]
+        twelve = throughput_schedule(wall, 64, solves_per_job=12)[0]
+        assert twelve.job_seconds == pytest.approx(12 * one.job_seconds)

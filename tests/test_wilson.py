@@ -1,0 +1,156 @@
+"""The Wilson-Clover operator: structure, symmetries, covariance."""
+
+import numpy as np
+import pytest
+
+from repro.dirac import WilsonCloverOperator
+from repro.fields import GaugeField
+from repro.gauge import dagger, free_field, random_su3
+from repro.lattice import NDIM, Lattice
+from tests.conftest import random_spinor
+from tests.test_gauge_loops import gauge_transform
+
+
+def g5_apply(op, v):
+    return op.apply_gamma5(v)
+
+
+class TestFreeField:
+    def test_constant_mode_eigenvalue(self, lat44):
+        m = WilsonCloverOperator(free_field(lat44), mass=0.25, antiperiodic_t=False)
+        c = np.ones((lat44.volume, 4, 3), dtype=complex)
+        np.testing.assert_allclose(m.apply(c), 0.25 * c, atol=1e-13)
+
+    def test_plane_wave_eigenvalue(self, lat44):
+        # Wilson eigenvalues: m + sum_mu (1 - cos p_mu) + i gamma.sin p
+        # check the norm through the dispersion relation for p=(pi/2,0,0,0)
+        m0 = 0.3
+        op = WilsonCloverOperator(free_field(lat44), mass=m0, antiperiodic_t=False)
+        x = lat44.site_coords[:, 0]
+        phase = np.exp(1j * np.pi / 2 * x)
+        v = np.zeros((lat44.volume, 4, 3), dtype=complex)
+        v[:, 0, 0] = phase
+        out = op.apply(v)
+        # expected: [(m + (1-cos p)) + i gamma_x sin p] acting on spin 0
+        expect_diag = m0 + 1.0  # 1 - cos(pi/2) = 1
+        # |M v|^2 = (expect_diag^2 + sin^2 p) |v|^2
+        got = np.linalg.norm(out.ravel()) ** 2 / np.linalg.norm(v.ravel()) ** 2
+        assert got == pytest.approx(expect_diag**2 + 1.0, rel=1e-12)
+
+    def test_clover_vanishes_on_free_field(self, lat44):
+        op = WilsonCloverOperator(free_field(lat44), mass=0.1, c_sw=1.0)
+        assert np.abs(op.clover.blocks).max() < 1e-14
+
+
+class TestStructure:
+    def test_apply_equals_diag_plus_hops(self, wilson44, spinor44):
+        composed = wilson44.apply_diag(spinor44) + wilson44.apply_hopping(spinor44)
+        np.testing.assert_allclose(wilson44.apply(spinor44), composed, atol=1e-12)
+
+    def test_hopping_flips_parity(self, wilson44, lat44):
+        v = random_spinor(lat44, seed=11)
+        v[lat44.odd_sites] = 0
+        h = wilson44.apply_hopping(v)
+        assert np.abs(h[lat44.even_sites]).max() == 0.0
+
+    def test_diag_preserves_parity(self, wilson44, lat44):
+        v = random_spinor(lat44, seed=12)
+        v[lat44.odd_sites] = 0
+        d = wilson44.apply_diag(v)
+        assert np.abs(d[lat44.odd_sites]).max() == 0.0
+
+    def test_diag_inv_is_inverse(self, wilson44, spinor44):
+        w = wilson44.apply_diag_inv(wilson44.apply_diag(spinor44))
+        np.testing.assert_allclose(w, spinor44, atol=1e-12)
+
+    def test_linearity(self, wilson44, lat44):
+        a = random_spinor(lat44, seed=13)
+        b = random_spinor(lat44, seed=14)
+        lhs = wilson44.apply(2j * a + b)
+        rhs = 2j * wilson44.apply(a) + wilson44.apply(b)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+    def test_field_interface(self, wilson44, lat44):
+        from repro.fields import SpinorField
+
+        f = SpinorField(lat44, random_spinor(lat44, seed=15))
+        out = wilson44(f)
+        np.testing.assert_allclose(out.data, wilson44.apply(f.data))
+
+    def test_field_shape_mismatch(self, wilson44, lat44):
+        from repro.fields import SpinorField
+
+        with pytest.raises(ValueError):
+            wilson44(SpinorField.zeros(lat44, ns=2, nc=4))
+
+    def test_hop_gathered_consistency(self, wilson44, lat44, spinor44):
+        for mu in range(NDIM):
+            nbr = spinor44[lat44.fwd[mu]]
+            np.testing.assert_allclose(
+                wilson44.apply_hop(mu, +1, spinor44),
+                wilson44.apply_hop_gathered(mu, +1, nbr),
+            )
+
+
+class TestSymmetries:
+    def test_gamma5_hermiticity(self, wilson448, lat448):
+        v = random_spinor(lat448, seed=16)
+        w = random_spinor(lat448, seed=17)
+        lhs = np.vdot(w.ravel(), g5_apply(wilson448, wilson448.apply(g5_apply(wilson448, v))).ravel())
+        rhs = np.conj(np.vdot(v.ravel(), wilson448.apply(w).ravel()))
+        assert abs(lhs - rhs) < 1e-9 * abs(lhs)
+
+    def test_gauge_covariance(self, gauge44, lat44):
+        g = random_su3(np.random.default_rng(77), lat44.volume)
+        v = random_spinor(lat44, seed=18)
+        m = WilsonCloverOperator(gauge44, mass=-0.1, c_sw=1.0)
+        mg = WilsonCloverOperator(gauge_transform(gauge44, g), mass=-0.1, c_sw=1.0)
+        # (M' g v)(x) = g(x) (M v)(x)
+        gv = np.einsum("xab,xsb->xsa", g, v)
+        lhs = mg.apply(gv)
+        rhs = np.einsum("xab,xsb->xsa", g, m.apply(v))
+        np.testing.assert_allclose(lhs, rhs, atol=1e-11)
+
+    def test_mass_shifts_diagonal(self, gauge44, spinor44):
+        m1 = WilsonCloverOperator(gauge44, mass=0.0)
+        m2 = WilsonCloverOperator(gauge44, mass=0.5)
+        np.testing.assert_allclose(
+            m2.apply(spinor44), m1.apply(spinor44) + 0.5 * spinor44, atol=1e-12
+        )
+
+    def test_csw_zero_is_plain_wilson(self, gauge44, spinor44):
+        w = WilsonCloverOperator(gauge44, mass=0.1, c_sw=0.0)
+        wc = WilsonCloverOperator(gauge44, mass=0.1, c_sw=1.0)
+        diff = wc.apply(spinor44) - w.apply(spinor44)
+        clover_part = wc.clover.apply(spinor44)
+        np.testing.assert_allclose(diff, clover_part, atol=1e-12)
+
+
+class TestBoundaryConditions:
+    def test_antiperiodic_changes_operator(self, gauge44, spinor44):
+        a = WilsonCloverOperator(gauge44, mass=0.1, antiperiodic_t=True)
+        p = WilsonCloverOperator(gauge44, mass=0.1, antiperiodic_t=False)
+        assert np.abs(a.apply(spinor44) - p.apply(spinor44)).max() > 1e-8
+
+    def test_bc_only_affects_time_boundary(self, gauge44, lat44):
+        a = WilsonCloverOperator(gauge44, mass=0.1, antiperiodic_t=True)
+        p = WilsonCloverOperator(gauge44, mass=0.1, antiperiodic_t=False)
+        v = random_spinor(lat44, seed=19)
+        diff = np.abs(a.apply(v) - p.apply(v)).sum(axis=(1, 2))
+        t = lat44.site_coords[:, 3]
+        interior = (t > 0) & (t < lat44.dims[3] - 1)
+        assert diff[interior].max() < 1e-13
+
+    def test_antiperiodic_gamma5_hermitian(self, gauge44, lat44):
+        m = WilsonCloverOperator(gauge44, mass=0.1, antiperiodic_t=True)
+        v = random_spinor(lat44, seed=20)
+        w = random_spinor(lat44, seed=21)
+        lhs = np.vdot(w.ravel(), g5_apply(m, m.apply(g5_apply(m, v))).ravel())
+        rhs = np.conj(np.vdot(v.ravel(), m.apply(w).ravel()))
+        assert abs(lhs - rhs) < 1e-9 * abs(lhs)
+
+
+class TestFlops:
+    def test_flop_counts(self, gauge44):
+        assert WilsonCloverOperator(gauge44, 0.1, c_sw=1.0).flops_per_site() == 1824.0
+        assert WilsonCloverOperator(gauge44, 0.1, c_sw=0.0).flops_per_site() == 1368.0

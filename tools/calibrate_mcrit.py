@@ -1,0 +1,28 @@
+import json, time
+import numpy as np
+from scipy.sparse.linalg import LinearOperator, eigs
+from repro.lattice import Lattice
+from repro.gauge import disordered_field
+from repro.dirac import WilsonCloverOperator
+
+configs = {
+    "aniso40_scaled": dict(dims=(4,4,4,16), disorder=0.55, smear=1, seed=101),
+    "iso48_scaled":   dict(dims=(6,6,6,12), disorder=0.45, smear=1, seed=102),
+    "iso64_scaled":   dict(dims=(8,8,8,16), disorder=0.45, smear=1, seed=103),
+}
+out = {}
+for name, c in configs.items():
+    t0 = time.time()
+    lat = Lattice(c["dims"])
+    rng = np.random.default_rng(c["seed"])
+    u = disordered_field(lat, rng, c["disorder"], smear_steps=c["smear"])
+    M = WilsonCloverOperator(u, mass=0.0)
+    n = lat.volume * 12
+    lo = LinearOperator((n,n), matvec=lambda x: M.apply(np.ascontiguousarray(x.reshape(lat.volume,4,3))).ravel(), dtype=complex)
+    w = eigs(lo, k=4, which='SR', return_eigenvectors=False, tol=1e-4, maxiter=20000)
+    mcrit = float(-min(w.real))
+    out[name] = dict(m_crit=mcrit, elapsed_s=round(time.time()-t0,1), eigs=[[float(z.real),float(z.imag)] for z in w])
+    print(name, mcrit, f"{time.time()-t0:.0f}s", flush=True)
+    with open("/tmp/mcrit.json","w") as f:
+        json.dump(out, f, indent=1)
+print("DONE")

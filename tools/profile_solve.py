@@ -1,0 +1,47 @@
+"""Profile a representative multigrid solve (optimization workflow).
+
+Per the profiling-first discipline: before touching any kernel, measure
+where the time goes.  Runs cProfile over one MG setup + solve on a
+scaled dataset and prints the hottest functions, plus the per-level
+work profile the solver already collects.
+
+Usage:  python tools/profile_solve.py [dataset-label]
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+
+import numpy as np
+
+
+def main(label: str = "Aniso40") -> None:
+    from repro.dirac import WilsonCloverOperator
+    from repro.fields import SpinorField
+    from repro.mg import MultigridSolver
+    from repro.workloads import SCALED_FOR_PAPER, mg_params_for
+
+    ds = SCALED_FOR_PAPER[label]
+    op = WilsonCloverOperator(ds.gauge(), **ds.operator_kwargs())
+    b = SpinorField.random(ds.lattice(), rng=np.random.default_rng(0))
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    mg = MultigridSolver(op, mg_params_for(ds, "24/24"), np.random.default_rng(1))
+    res = mg.solve(b.data)
+    profiler.disable()
+
+    print(f"dataset {ds.label}: converged={res.converged} in {res.iterations} iters\n")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    print("=== top functions by cumulative time ===")
+    stats.print_stats(18)
+    print("=== per-level work profile ===")
+    for lvl, st in res.extra["level_stats"].items():
+        print(f"  level {lvl}: {st}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "Aniso40")
