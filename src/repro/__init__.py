@@ -19,7 +19,7 @@ Quick access to the most used entry points::
 Everything else lives in the topical subpackages (``repro.lattice``,
 ``repro.gauge``, ``repro.dirac``, ``repro.solvers``, ``repro.mg``,
 ``repro.comm``, ``repro.gpu``, ``repro.machine``, ``repro.workloads``,
-``repro.reporting``).
+``repro.telemetry``, ``repro.reporting``).
 """
 
 from .dirac import SchurOperator, WilsonCloverOperator

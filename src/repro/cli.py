@@ -9,11 +9,71 @@ Usage::
     python -m repro.cli fig3   [--mode replay|measured]
     python -m repro.cli fig4   [--mode replay|measured]
     python -m repro.cli all    [--mode replay]
+    python -m repro.cli trace  [dataset] [--telemetry out.json]
+
+``trace`` runs one measured multigrid solve on a scaled dataset with
+full telemetry enabled and exports the JSON trace document (nested
+spans for setup/smoother/restrict/prolong/coarse-solve plus per-level
+metrics).  Measured-mode artifacts accept ``--telemetry FILE`` to
+export the trace of their solves; with ``--out DIR`` the trace is
+persisted to ``DIR/trace.json`` automatically instead of being
+discarded after rendering.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
+
+from . import telemetry
+
+ARTIFACTS = ["table1", "table2", "table3", "fig2", "fig3", "fig4", "all", "trace"]
+
+
+def run_trace(dataset: str, verbose: bool = True) -> dict:
+    """Run one measured MG solve on ``dataset`` with telemetry enabled.
+
+    Returns the trace document (schema ``repro.telemetry/v1``).
+    """
+    import numpy as np
+
+    from .dirac import WilsonCloverOperator
+    from .fields import SpinorField
+    from .mg import MultigridSolver
+    from .workloads import SCALED_FOR_PAPER, mg_params_for
+
+    if dataset not in SCALED_FOR_PAPER:
+        raise SystemExit(
+            f"unknown dataset {dataset!r}; choose from {sorted(SCALED_FOR_PAPER)}"
+        )
+    ds = SCALED_FOR_PAPER[dataset]
+    telemetry.enable()
+    telemetry.reset()
+    try:
+        op = WilsonCloverOperator(ds.gauge(), **ds.operator_kwargs())
+        b = SpinorField.random(ds.lattice(), rng=np.random.default_rng(0))
+        mg = MultigridSolver(op, mg_params_for(ds, "24/24"), np.random.default_rng(1))
+        res = mg.solve(b.data, tol=ds.target_residuum)
+        doc = telemetry.trace_document(
+            meta={
+                "kind": "trace",
+                "dataset": ds.label,
+                "paper_dataset": ds.paper_label,
+                "converged": bool(res.converged),
+                "iterations": int(res.iterations),
+                "solve": res.to_dict(),
+            }
+        )
+    finally:
+        telemetry.disable()
+    if verbose:
+        per_level = telemetry.aggregate_level_seconds(doc["spans"])
+        print(
+            telemetry.level_breakdown_table(
+                per_level, title=f"trace {ds.label}: exclusive seconds per level"
+            )
+        )
+    return doc
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -21,9 +81,12 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro",
         description="Regenerate the tables and figures of Clark et al. (SC 2016)",
     )
+    parser.add_argument("artifact", choices=ARTIFACTS)
     parser.add_argument(
-        "artifact",
-        choices=["table1", "table2", "table3", "fig2", "fig3", "fig4", "all"],
+        "dataset",
+        nargs="?",
+        default="Aniso40",
+        help="dataset label for the 'trace' artifact (default Aniso40)",
     )
     parser.add_argument(
         "--mode",
@@ -39,35 +102,75 @@ def main(argv: list[str] | None = None) -> int:
         "--out",
         default=None,
         metavar="DIR",
-        help="also write each artifact to DIR/<artifact>.txt",
+        help="also write each artifact to DIR/<artifact>.txt (measured-mode "
+        "runs additionally persist their telemetry to DIR/trace.json)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FILE",
+        help="export the telemetry trace of this run as a JSON document",
     )
     args = parser.parse_args(argv)
 
+    if args.artifact == "trace":
+        doc = run_trace(args.dataset)
+        path = args.telemetry
+        if path is None:
+            out_dir = pathlib.Path(args.out) if args.out else pathlib.Path(".")
+            path = out_dir / f"trace-{args.dataset}.json"
+        out = pathlib.Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        import json
+
+        out.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+        print(f"\ntrace written to {out}")
+        return 0
+
+    # Measured-mode solve traces used to be discarded after rendering;
+    # record them whenever there is somewhere to persist them to.
+    capture = args.mode == "measured" and (
+        args.telemetry is not None or args.out is not None
+    )
+    if capture:
+        telemetry.enable()
+        telemetry.reset()
+
     from .reporting import fig2, fig3, fig4, table1, table2, table3
 
-    outputs: list[tuple[str, str]] = []
-    if args.artifact in ("table1", "all"):
-        outputs.append(("table1", table1.render()))
-    if args.artifact in ("table2", "all"):
-        outputs.append(("table2", table2.render()))
-    if args.artifact in ("fig2", "all"):
-        outputs.append(("fig2", fig2.render()))
-    if args.artifact in ("table3", "all"):
-        outputs.append(
-            ("table3", table3.main(mode=args.mode, n_rhs=args.rhs, verbose=False))
-        )
-    if args.artifact in ("fig3", "all"):
-        outputs.append(("fig3", fig3.main(mode=args.mode, n_rhs=args.rhs)))
-    if args.artifact in ("fig4", "all"):
-        outputs.append(("fig4", fig4.render(mode=args.mode, n_rhs=args.rhs)))
+    try:
+        outputs: list[tuple[str, str]] = []
+        if args.artifact in ("table1", "all"):
+            outputs.append(("table1", table1.render()))
+        if args.artifact in ("table2", "all"):
+            outputs.append(("table2", table2.render()))
+        if args.artifact in ("fig2", "all"):
+            outputs.append(("fig2", fig2.render()))
+        if args.artifact in ("table3", "all"):
+            outputs.append(
+                ("table3", table3.main(mode=args.mode, n_rhs=args.rhs, verbose=False))
+            )
+        if args.artifact in ("fig3", "all"):
+            outputs.append(("fig3", fig3.main(mode=args.mode, n_rhs=args.rhs)))
+        if args.artifact in ("fig4", "all"):
+            outputs.append(("fig4", fig4.render(mode=args.mode, n_rhs=args.rhs)))
+    finally:
+        if capture:
+            telemetry.disable()
+
     print("\n\n".join(text for _, text in outputs))
     if args.out is not None:
-        import pathlib
-
         out_dir = pathlib.Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
         for name, text in outputs:
             (out_dir / f"{name}.txt").write_text(text + "\n")
+    if capture:
+        meta = {"kind": "artifact", "artifact": args.artifact, "mode": args.mode}
+        if args.telemetry is not None:
+            telemetry.write_trace(args.telemetry, meta=meta)
+        if args.out is not None:
+            telemetry.write_trace(pathlib.Path(args.out) / "trace.json", meta=meta)
+        telemetry.reset()
     return 0
 
 

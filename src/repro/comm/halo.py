@@ -13,6 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..lattice import NDIM, Partition
+from ..telemetry.metrics import get_registry
+from ..telemetry.tracer import get_tracer
 from .communicator import SimulatedComm
 
 
@@ -57,15 +59,22 @@ class HaloExchange:
         recv_face = self._faces[(mu, +1 if sign > 0 else -1)]
         send_face = self._faces[(mu, -1 if sign > 0 else +1)]
         full_tag = tag or f"halo_mu{mu}_s{sign:+d}"
-        # every rank packs the face its backward (w.r.t. sign) neighbour
-        # needs, then receives its own ghost face
-        for r in range(part.num_ranks):
-            src = part.neighbor_rank(r, mu, +1 if sign > 0 else -1)
-            buf = self.pack_face(locals_[src], mu, -1 if sign > 0 else +1)
-            self.comm.send(src, r, buf, full_tag)
-        for r in range(part.num_ranks):
-            src = part.neighbor_rank(r, mu, +1 if sign > 0 else -1)
-            out[r][recv_face] = self.comm.recv(src, r, full_tag)
+        with get_tracer().span("halo.exchange", mu=mu, sign=sign):
+            sent_bytes = 0
+            # every rank packs the face its backward (w.r.t. sign) neighbour
+            # needs, then receives its own ghost face
+            for r in range(part.num_ranks):
+                src = part.neighbor_rank(r, mu, +1 if sign > 0 else -1)
+                buf = self.pack_face(locals_[src], mu, -1 if sign > 0 else +1)
+                sent_bytes += buf.nbytes
+                self.comm.send(src, r, buf, full_tag)
+            for r in range(part.num_ranks):
+                src = part.neighbor_rank(r, mu, +1 if sign > 0 else -1)
+                out[r][recv_face] = self.comm.recv(src, r, full_tag)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("comm.messages", mu=mu).inc(part.num_ranks)
+            registry.counter("comm.bytes", mu=mu).inc(sent_bytes)
         return out
 
     # ------------------------------------------------------------------

@@ -90,7 +90,8 @@ def mg_time(
     """Multigrid wallclock from per-level work counters.
 
     ``level_stats[l]`` carries the counters of one *whole solve* (the
-    dict stored in ``SolveResult.extra['level_stats']``): stencil
+    dict stored in ``SolveResult.telemetry.level_stats``, exported to
+    trace documents by :mod:`repro.telemetry.export`): stencil
     applications, smoother applications, reductions, transfers.
     """
     level_seconds: dict[int, float] = {}

@@ -15,11 +15,21 @@ import numpy as np
 
 from ..coarse import coarsen_operator
 from ..lattice import Blocking
+from ..telemetry.tracer import get_tracer
 from ..transfer import Transfer
 from .params import LevelParams, MGParams
 from .schwarz import SchwarzMRSmoother
 from .setup import generate_null_vectors
 from .smoother import SchurMRSmoother
+
+_STAT_FIELDS = (
+    "op_applies",
+    "smoother_applies",
+    "gcr_iters",
+    "restricts",
+    "prolongs",
+    "reductions",
+)
 
 
 @dataclass
@@ -27,7 +37,11 @@ class LevelStats:
     """Work counters for one level, reset per outer solve.
 
     These drive the per-level time breakdown (paper Figure 4): the
-    machine model converts them into kernel and reduction times.
+    machine model converts them into kernel and reduction times.  The
+    counters are deliberately plain attributes (hot-path increments);
+    :meth:`as_dict` snapshots them and :meth:`publish` books them into
+    a :class:`~repro.telemetry.MetricsRegistry` under ``mg.<counter>``
+    with a ``level`` label.
     """
 
     op_applies: int = 0  # full-stencil applications (residuals, GCR matvecs)
@@ -38,12 +52,16 @@ class LevelStats:
     reductions: int = 0  # global inner products / norms
 
     def reset(self) -> None:
-        self.op_applies = 0
-        self.smoother_applies = 0
-        self.gcr_iters = 0
-        self.restricts = 0
-        self.prolongs = 0
-        self.reductions = 0
+        for name in _STAT_FIELDS:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in _STAT_FIELDS}
+
+    def publish(self, registry, level: int) -> None:
+        """Accumulate this snapshot into a metrics registry."""
+        for name, value in self.as_dict().items():
+            registry.counter(f"mg.{name}", level=level).inc(value)
 
     def total_stencil_work(self) -> int:
         return self.op_applies + self.smoother_applies
@@ -115,33 +133,39 @@ class MultigridHierarchy:
         rng: np.random.Generator,
         verbose: bool = False,
     ) -> "MultigridHierarchy":
+        tracer = get_tracer()
         levels: list[MGLevel] = []
         current = fine_op
-        for index, lp in enumerate(params.levels):
-            if verbose:
-                print(
-                    f"[mg setup] level {index}: {current.lattice!r} "
-                    f"ns={current.ns} nc={current.nc}; generating {lp.n_null} "
-                    f"null vectors ({lp.null_iters} relaxation iters each)"
-                )
-            nulls = generate_null_vectors(
-                current, lp.n_null, rng, null_iters=lp.null_iters
-            )
-            blocking = Blocking(current.lattice, lp.block)
-            transfer = Transfer(blocking, nulls)
-            smoother = _build_smoother(current, lp, params, rng)
-            levels.append(
-                MGLevel(
-                    index=index,
-                    op=current,
-                    params=lp,
-                    transfer=transfer,
-                    smoother=smoother,
-                    null_vectors=nulls,
-                )
-            )
-            current = coarsen_operator(current, transfer)
-        levels.append(MGLevel(index=len(params.levels), op=current))
+        with tracer.span("mg.setup", n_levels=len(params.levels) + 1):
+            for index, lp in enumerate(params.levels):
+                if verbose:
+                    print(
+                        f"[mg setup] level {index}: {current.lattice!r} "
+                        f"ns={current.ns} nc={current.nc}; generating {lp.n_null} "
+                        f"null vectors ({lp.null_iters} relaxation iters each)"
+                    )
+                with tracer.span("mg.setup.level", level=index):
+                    with tracer.span("null-vectors", level=index):
+                        nulls = generate_null_vectors(
+                            current, lp.n_null, rng, null_iters=lp.null_iters
+                        )
+                    with tracer.span("transfer-build", level=index):
+                        blocking = Blocking(current.lattice, lp.block)
+                        transfer = Transfer(blocking, nulls)
+                    smoother = _build_smoother(current, lp, params, rng)
+                    levels.append(
+                        MGLevel(
+                            index=index,
+                            op=current,
+                            params=lp,
+                            transfer=transfer,
+                            smoother=smoother,
+                            null_vectors=nulls,
+                        )
+                    )
+                    with tracer.span("coarsen", level=index):
+                        current = coarsen_operator(current, transfer)
+            levels.append(MGLevel(index=len(params.levels), op=current))
         if verbose:
             lat = current.lattice
             print(

@@ -21,9 +21,11 @@ import numpy as np
 
 from ..dirac.even_odd import SchurOperator
 from ..precision import Precision
+from ..solvers.base import OperatorCounter
 from ..solvers.gcr import gcr
 from ..solvers.mixed import PrecisionOperator
-from .hierarchy import LevelStats, MGLevel, MultigridHierarchy
+from ..telemetry.tracer import get_tracer
+from .hierarchy import MGLevel, MultigridHierarchy
 
 
 def gcr_reductions(iterations: int, nkrylov: int) -> int:
@@ -33,22 +35,6 @@ def gcr_reductions(iterations: int, nkrylov: int) -> int:
     plus the ``<w,w>``, ``<w,r>`` and ``|r|`` reductions.
     """
     return sum((i % nkrylov) + 3 for i in range(iterations))
-
-
-class _CountingOp:
-    """Operator wrapper that books applications into a :class:`LevelStats`."""
-
-    def __init__(self, op, stats: LevelStats):
-        self.op = op
-        self.stats = stats
-        self.ns = getattr(op, "ns", None)
-        self.nc = getattr(op, "nc", None)
-
-    def apply(self, v: np.ndarray) -> np.ndarray:
-        self.stats.op_applies += 1
-        return self.op.apply(v)
-
-    matvec = apply
 
 
 class KCyclePreconditioner:
@@ -65,35 +51,43 @@ class KCyclePreconditioner:
         assert lev.params is not None and lev.transfer is not None
         lp = lev.params
         stats = lev.stats
+        tracer = get_tracer()
 
-        # 1. pre-smooth
-        z = self._smooth(lev, r)
+        with tracer.span("kcycle", level=self.level):
+            # 1. pre-smooth
+            z = self._smooth(lev, r, phase="pre")
 
-        # 2. defect restriction
-        stats.op_applies += 1
-        r1 = r - lev.op.apply(z)
-        stats.restricts += 1
-        rc = lev.transfer.restrict(r1)
+            # 2. defect restriction
+            stats.op_applies += 1
+            with tracer.span("residual", level=self.level):
+                r1 = r - lev.op.apply(z)
+            stats.restricts += 1
+            with tracer.span("restrict", level=self.level):
+                rc = lev.transfer.restrict(r1)
 
-        # 3. coarse solve (GCR; K-cycle-preconditioned unless coarsest)
-        ec = self._coarse_solve(rc)
+            # 3. coarse solve (GCR; K-cycle-preconditioned unless coarsest)
+            with tracer.span("coarse-solve", level=self.level + 1):
+                ec = self._coarse_solve(rc)
 
-        # 4. prolongate and correct
-        stats.prolongs += 1
-        z = z + lev.transfer.prolong(ec)
+            # 4. prolongate and correct
+            stats.prolongs += 1
+            with tracer.span("prolong", level=self.level):
+                z = z + lev.transfer.prolong(ec)
 
-        # 5. post-smooth
-        stats.op_applies += 1
-        r2 = r - lev.op.apply(z)
-        z = z + self._smooth(lev, r2)
+            # 5. post-smooth
+            stats.op_applies += 1
+            with tracer.span("residual", level=self.level):
+                r2 = r - lev.op.apply(z)
+            z = z + self._smooth(lev, r2, phase="post")
         return z
 
     # ------------------------------------------------------------------
-    def _smooth(self, lev: MGLevel, r: np.ndarray) -> np.ndarray:
+    def _smooth(self, lev: MGLevel, r: np.ndarray, phase: str = "pre") -> np.ndarray:
         assert lev.smoother is not None and lev.params is not None
         lev.stats.smoother_applies += lev.params.smoother_steps + 1
         lev.stats.reductions += 2 * lev.params.smoother_steps
-        return lev.smoother.apply(r)
+        with get_tracer().span("smoother", level=lev.index, phase=phase):
+            return lev.smoother.apply(r)
 
     def _coarse_solve(self, rc: np.ndarray) -> np.ndarray:
         params = self.hierarchy.params
@@ -108,7 +102,7 @@ class KCyclePreconditioner:
             cp = coarse.params
             assert cp is not None
             inner_pre = KCyclePreconditioner(self.hierarchy, self.level + 1)
-            op = _CountingOp(self._wrap_precision(coarse.op), stats)
+            op = OperatorCounter(self._wrap_precision(coarse.op), stats=stats)
             res = gcr(
                 op,
                 rc,
@@ -139,12 +133,12 @@ class KCyclePreconditioner:
             schur = SchurOperator(coarse.op, parity=0)
             rs = schur.prepare_source(rc)
             stats.op_applies += 1
-            op = _CountingOp(self._wrap_precision(schur), stats)
+            op = OperatorCounter(self._wrap_precision(schur), stats=stats)
             res = gcr(op, rs, tol=lp.coarse_tol, maxiter=lp.coarse_maxiter, nkrylov=nk)
             stats.op_applies += 1
             ec = schur.reconstruct(res.x, rc)
         else:
-            op = _CountingOp(self._wrap_precision(coarse.op), stats)
+            op = OperatorCounter(self._wrap_precision(coarse.op), stats=stats)
             res = gcr(op, rc, tol=lp.coarse_tol, maxiter=lp.coarse_maxiter, nkrylov=nk)
             ec = res.x
         stats.gcr_iters += res.iterations

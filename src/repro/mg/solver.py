@@ -10,10 +10,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..fields import SpinorField
-from ..solvers.base import SolveResult
+from ..solvers.base import OperatorCounter, SolveResult
 from ..solvers.gcr import gcr
-from .hierarchy import LevelStats, MultigridHierarchy
-from .kcycle import KCyclePreconditioner, _CountingOp, gcr_reductions
+from ..telemetry.metrics import get_registry
+from ..telemetry.tracer import Span, get_tracer
+from .hierarchy import MultigridHierarchy
+from .kcycle import KCyclePreconditioner, gcr_reductions
 from .params import MGParams
 
 
@@ -51,31 +53,57 @@ class MultigridSolver:
         maxiter: int | None = None,
         x0: np.ndarray | None = None,
     ) -> SolveResult:
-        """Solve ``M x = b`` on the fine grid; per-level work in ``extra``."""
+        """Solve ``M x = b``; per-level work lands in ``result.telemetry``."""
         data = b.data if isinstance(b, SpinorField) else b
         tol = tol if tol is not None else self.params.outer_tol
         maxiter = maxiter if maxiter is not None else self.params.outer_maxiter
         self.hierarchy.reset_stats()
         fine = self.hierarchy.levels[0]
-        op = _CountingOp(fine.op, fine.stats)
-        result = gcr(
-            op,
-            data,
-            x0=x0,
-            tol=tol,
-            maxiter=maxiter,
-            nkrylov=self.params.outer_nkrylov,
-            preconditioner=self.preconditioner,
-        )
+        op = OperatorCounter(fine.op, stats=fine.stats)
+        tracer = get_tracer()
+        with tracer.span(
+            "mg.solve", subspace=self.params.subspace_label(), level=0
+        ) as sp:
+            result = gcr(
+                op,
+                data,
+                x0=x0,
+                tol=tol,
+                maxiter=maxiter,
+                nkrylov=self.params.outer_nkrylov,
+                preconditioner=self.preconditioner,
+            )
         fine.stats.gcr_iters += result.iterations
         fine.stats.reductions += gcr_reductions(
             result.iterations, self.params.outer_nkrylov
         )
-        result.extra["level_stats"] = {
-            lev.index: _snapshot(lev.stats) for lev in self.hierarchy.levels
-        }
-        result.extra["subspace"] = self.params.subspace_label()
+        self._publish_telemetry(result, sp)
         return result
+
+    def _publish_telemetry(self, result: SolveResult, sp) -> None:
+        """Fill ``result.telemetry`` and the global metrics registry."""
+        snapshot = {
+            lev.index: lev.stats.as_dict() for lev in self.hierarchy.levels
+        }
+        tele = result.telemetry
+        tele.level_stats = snapshot
+        # deprecated ``extra`` alias readers see the same snapshot
+        tele.attrs["level_stats"] = snapshot
+        tele.attrs["subspace"] = self.params.subspace_label()
+        tele.metrics["outer_iterations"] = float(result.iterations)
+        if isinstance(sp, Span):
+            tele.spans = [sp.to_dict()]
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("mg.n_levels").set(self.hierarchy.n_levels)
+            registry.counter(
+                "mg.solves", subspace=self.params.subspace_label()
+            ).inc()
+            registry.counter(
+                "mg.outer_iterations", subspace=self.params.subspace_label()
+            ).inc(result.iterations)
+            for lev in self.hierarchy.levels:
+                lev.stats.publish(registry, lev.index)
 
     def solve_field(self, b: SpinorField, **kwargs) -> tuple[SpinorField, SolveResult]:
         res = self.solve(b, **kwargs)
@@ -92,14 +120,3 @@ class MultigridSolver:
         :func:`repro.solvers.batched_gcr` on the level operators).
         """
         return [self.solve(b, **kwargs) for b in bs]
-
-
-def _snapshot(stats: LevelStats) -> dict:
-    return {
-        "op_applies": stats.op_applies,
-        "smoother_applies": stats.smoother_applies,
-        "gcr_iters": stats.gcr_iters,
-        "restricts": stats.restricts,
-        "prolongs": stats.prolongs,
-        "reductions": stats.reductions,
-    }

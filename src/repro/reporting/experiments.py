@@ -32,6 +32,8 @@ from ..machine import (
 from ..mg import MultigridSolver
 from ..solvers import bicgstab, norm
 from ..fields import SpinorField
+from ..telemetry import SolveTelemetry
+from ..telemetry.tracer import get_tracer
 from ..workloads import (
     PAPER_DATASETS,
     SCALED_FOR_PAPER,
@@ -48,13 +50,22 @@ from ..workloads import (
 # ----------------------------------------------------------------------
 @dataclass
 class SolverMeasurement:
-    """Measured convergence behaviour of one solver on a scaled dataset."""
+    """Measured convergence behaviour of one solver on a scaled dataset.
+
+    ``telemetry`` holds the :class:`~repro.telemetry.SolveTelemetry` of
+    every solve; the per-level profiles that Figure 4 consumes are the
+    ``level_stats`` views of those payloads.
+    """
 
     solver: str
     iterations: list[float] = field(default_factory=list)
     error_over_residual: list[float] = field(default_factory=list)
-    level_stats: list[dict] = field(default_factory=list)
+    telemetry: list[SolveTelemetry] = field(default_factory=list)
     wallclock_s: list[float] = field(default_factory=list)
+
+    @property
+    def level_stats(self) -> list[dict]:
+        return [t.level_stats for t in self.telemetry]
 
     @property
     def mean_iterations(self) -> float:
@@ -109,13 +120,16 @@ def measure_dataset(
 
     out: dict[str, SolverMeasurement] = {}
 
+    tracer = get_tracer()
+
     # -- BiCGStab baseline (red-black preconditioned) --------------------
     schur = SchurOperator(op, parity=0)
     meas = SolverMeasurement("BiCGStab")
     for b in sources:
         bs = schur.prepare_source(b)
         t0 = time.perf_counter()
-        res = bicgstab(schur, bs, tol=tol, maxiter=100000)
+        with tracer.span("measure.solve", dataset=dataset.label, solver="BiCGStab"):
+            res = bicgstab(schur, bs, tol=tol, maxiter=100000)
         meas.wallclock_s.append(time.perf_counter() - t0)
         tight = bicgstab(schur, bs, x0=res.x, tol=tol * 1e-3, maxiter=100000)
         x_full = schur.reconstruct(res.x, b)
@@ -133,11 +147,12 @@ def measure_dataset(
         meas = SolverMeasurement(strategy)
         for b in sources:
             t0 = time.perf_counter()
-            res = mg.solve(b, tol=tol)
+            with tracer.span("measure.solve", dataset=dataset.label, solver=strategy):
+                res = mg.solve(b, tol=tol)
             meas.wallclock_s.append(time.perf_counter() - t0)
             tight = mg.solve(b, tol=tol * 1e-3, x0=res.x)
             meas.iterations.append(res.iterations)
-            meas.level_stats.append(res.extra["level_stats"])
+            meas.telemetry.append(res.telemetry)
             meas.error_over_residual.append(
                 _error_ratio(res.x, tight.x, res.final_residual)
             )

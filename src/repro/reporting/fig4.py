@@ -3,6 +3,12 @@
 Shows the coarsest level's share of the solve growing with node count —
 the log(N) global-synchronization cost of the coarse-grid GCR solver
 (Section 7.2).
+
+Measured mode is backed by the telemetry layer: the per-level work
+profiles come from :class:`~repro.telemetry.SolveTelemetry` payloads
+recorded during real solves (the same data ``repro trace`` serializes),
+and :func:`render_from_trace` prices a previously exported trace
+document without re-running any solve.
 """
 
 from __future__ import annotations
@@ -10,6 +16,7 @@ from __future__ import annotations
 import sys
 
 from ..machine import MachineModel, mg_level_specs, mg_time
+from ..telemetry import load_trace
 from ..workloads import ISO64, SCALED_FOR_PAPER, table3_rows
 from .experiments import measure_dataset, synthetic_level_profile
 from .format import render_series
@@ -17,35 +24,73 @@ from .format import render_series
 STRATEGY = "24/32"
 
 
-def compute(mode: str = "replay", n_rhs: int = 2) -> tuple[list[int], dict[str, list[float]]]:
+def level_stats_from_trace(doc: dict) -> dict[int, dict[str, float]]:
+    """Mean per-solve, per-level work counters out of a trace document.
+
+    Reads the ``mg.*`` counters the multigrid solver publishes into the
+    metrics registry (labelled by level) and normalizes them by the
+    number of recorded MG solves.
+    """
+    counters = doc["metrics"].get("counter", {})
+    n_solves = sum(e["value"] for e in counters.get("mg.solves", [])) or 1.0
+    out: dict[int, dict[str, float]] = {}
+    for name, entries in counters.items():
+        if not name.startswith("mg.") or name in ("mg.solves", "mg.outer_iterations"):
+            continue
+        for entry in entries:
+            level = entry["labels"].get("level")
+            if level is None:
+                continue
+            out.setdefault(int(level), {})[name[3:]] = entry["value"] / n_solves
+    return out
+
+
+def outer_iterations_from_trace(doc: dict) -> float:
+    """Mean outer GCR iterations per MG solve recorded in the trace."""
+    counters = doc["metrics"].get("counter", {})
+    n_solves = sum(e["value"] for e in counters.get("mg.solves", [])) or 1.0
+    total = sum(e["value"] for e in counters.get("mg.outer_iterations", []))
+    return total / n_solves
+
+
+def compute(
+    mode: str = "replay",
+    n_rhs: int = 2,
+    trace: str | None = None,
+) -> tuple[list[int], dict[str, list[float]]]:
     model = MachineModel()
     levels = mg_level_specs(ISO64.dims, ISO64.blockings[64], [24, 32])
     nodes_list = list(ISO64.node_counts)
 
-    if mode == "measured":
+    if trace is not None:
+        doc = load_trace(trace)
+        iters = outer_iterations_from_trace(doc)
+        stats = level_stats_from_trace(doc)
+    elif mode == "measured":
         meas = measure_dataset(
             SCALED_FOR_PAPER["Iso64"], strategies=(STRATEGY,), n_rhs=n_rhs
         )[STRATEGY]
         iters = meas.mean_iterations
         stats = meas.mean_level_stats()
     else:
-        series_stats = {}
         stats = None
 
     per_level: dict[str, list[float]] = {f"level {l + 1}": [] for l in range(len(levels))}
     for nodes in nodes_list:
-        if mode == "replay":
+        if stats is None:
             prow = [r for r in table3_rows("Iso64", nodes) if r.solver == STRATEGY][0]
             iters = prow.iterations
-            stats = synthetic_level_profile(iters)
-        st = mg_time(model, levels, nodes, stats, iters)
+            node_stats = synthetic_level_profile(iters)
+        else:
+            node_stats = stats
+        st = mg_time(model, levels, nodes, node_stats, iters)
         for l in range(len(levels)):
             per_level[f"level {l + 1}"].append(st.level_seconds.get(l, 0.0))
     return nodes_list, per_level
 
 
-def render(mode: str = "replay", n_rhs: int = 2) -> str:
-    nodes_list, per_level = compute(mode, n_rhs)
+def render(mode: str = "replay", n_rhs: int = 2, trace: str | None = None) -> str:
+    nodes_list, per_level = compute(mode, n_rhs, trace=trace)
     fractions = {
         "coarsest fraction": [
             per_level["level 3"][i]
@@ -53,14 +98,20 @@ def render(mode: str = "replay", n_rhs: int = 2) -> str:
             for i in range(len(nodes_list))
         ]
     }
+    source = "trace" if trace is not None else mode
     out = render_series(
         "Nodes",
         nodes_list,
         per_level,
-        title=f"Figure 4 ({mode}): per-level seconds, Iso64, {STRATEGY} strategy",
+        title=f"Figure 4 ({source}): per-level seconds, Iso64, {STRATEGY} strategy",
     )
     out += "\n" + render_series("Nodes", nodes_list, fractions)
     return out
+
+
+def render_from_trace(path: str) -> str:
+    """Price Figure 4 from a trace document exported by the telemetry layer."""
+    return render(trace=path)
 
 
 if __name__ == "__main__":

@@ -3,15 +3,17 @@
 Solvers operate on raw complex ndarrays of any shape (the flattened
 view defines the inner product), against any operator exposing
 ``apply(x) -> y``.  Each solve returns a :class:`SolveResult` carrying
-the iteration trace that the benchmark harness and the performance
-models consume.
+the iteration trace and a typed :class:`~repro.telemetry.SolveTelemetry`
+payload that the benchmark harness and the performance models consume.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 
 import numpy as np
+
+from ..telemetry.result import SolveTelemetry
 
 
 def vdot(a: np.ndarray, b: np.ndarray) -> complex:
@@ -29,7 +31,12 @@ def norm(a: np.ndarray) -> float:
 
 @dataclass
 class SolveResult:
-    """Outcome of an iterative solve."""
+    """Outcome of an iterative solve.
+
+    ``telemetry`` is the typed measurement payload; ``extra`` is kept
+    for one release as a deprecated alias of ``telemetry.attrs`` (reads
+    and writes land in the same dict).
+    """
 
     x: np.ndarray
     converged: bool
@@ -38,7 +45,28 @@ class SolveResult:
     residual_history: list[float] = field(default_factory=list)
     matvecs: int = 0
     inner_iterations: int = 0  # total inner iterations for nested solvers
-    extra: dict = field(default_factory=dict)
+    telemetry: SolveTelemetry = field(default_factory=SolveTelemetry)
+    extra: InitVar[dict | None] = None
+
+    def __post_init__(self, extra: dict | None) -> None:
+        if extra:
+            self.telemetry.attrs.update(extra)
+
+    def to_dict(self, include_solution: bool = False) -> dict:
+        """JSON-serializable form (used by the telemetry exporters)."""
+        out = {
+            "converged": bool(self.converged),
+            "iterations": int(self.iterations),
+            "final_residual": float(self.final_residual),
+            "residual_history": [float(r) for r in self.residual_history],
+            "matvecs": int(self.matvecs),
+            "inner_iterations": int(self.inner_iterations),
+            "telemetry": self.telemetry.to_dict(),
+        }
+        if include_solution:
+            out["x"] = self.x.tolist()
+        out["shape"] = list(np.asarray(self.x).shape)
+        return out
 
     def __repr__(self) -> str:
         return (
@@ -47,17 +75,38 @@ class SolveResult:
         )
 
 
-class OperatorCounter:
-    """Wrap an operator and count applications (per-level telemetry)."""
+def _extra_alias(self: SolveResult) -> dict:
+    """Deprecated: use ``result.telemetry`` (typed) instead."""
+    return self.telemetry.attrs
 
-    def __init__(self, op):
+
+SolveResult.extra = property(_extra_alias)  # type: ignore[assignment]
+
+
+class OperatorCounter:
+    """Wrap an operator and count applications.
+
+    The single counting wrapper of the codebase (it replaced the former
+    ``mg.kcycle._CountingOp`` duplicate): ``count`` is the local tally,
+    and every application is optionally booked into a ``stats`` sink
+    exposing ``op_applies`` (a :class:`~repro.mg.hierarchy.LevelStats`)
+    and into a metrics-registry counter via ``metric``.
+    """
+
+    def __init__(self, op, stats=None, metric=None):
         self.op = op
         self.count = 0
+        self.stats = stats
+        self.metric = metric
         self.ns = getattr(op, "ns", None)
         self.nc = getattr(op, "nc", None)
 
     def apply(self, v: np.ndarray) -> np.ndarray:
         self.count += 1
+        if self.stats is not None:
+            self.stats.op_applies += 1
+        if self.metric is not None:
+            self.metric.inc()
         return self.op.apply(v)
 
     matvec = apply

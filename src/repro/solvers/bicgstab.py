@@ -10,11 +10,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..telemetry.instrument import instrumented_solver
 from .base import SolveResult, norm, vdot
 
 _BREAKDOWN = 1e-30
 
 
+@instrumented_solver("bicgstab")
 def bicgstab(
     op,
     b: np.ndarray,

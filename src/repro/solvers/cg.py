@@ -11,9 +11,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..dirac.normal import AdjointOperator, NormalOperator
+from ..telemetry.instrument import instrumented_solver
 from .base import SolveResult, norm, vdot
 
 
+@instrumented_solver("cg")
 def cg(
     op,
     b: np.ndarray,

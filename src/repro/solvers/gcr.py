@@ -12,9 +12,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..telemetry.instrument import instrumented_solver
 from .base import SolveResult, norm, vdot
 
 
+@instrumented_solver("gcr")
 def gcr(
     op,
     b: np.ndarray,

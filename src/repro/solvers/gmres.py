@@ -18,9 +18,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..telemetry.instrument import instrumented_solver
 from .base import SolveResult, norm
 
 
+@instrumented_solver("gmres")
 def gmres(
     op,
     b: np.ndarray,
@@ -99,6 +101,7 @@ def gmres(
     )
 
 
+@instrumented_solver("ca-gmres")
 def ca_gmres(
     op,
     b: np.ndarray,

@@ -15,9 +15,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..telemetry.instrument import instrumented_solver
 from .base import SolveResult, norm, vdot
 
 
+@instrumented_solver("mr")
 def mr(
     op,
     b: np.ndarray,

@@ -1,0 +1,161 @@
+"""Trace export: one JSON schema for solves, benchmarks and profiling.
+
+A *trace document* bundles the span forest of a tracer and the metric
+snapshot of a registry (plus caller metadata) under the versioned
+schema ``repro.telemetry/v1``.  The same document is produced by
+``repro trace <dataset>``, by ``--telemetry out.json`` on measured-mode
+artifacts, and by ``tools/profile_solve.py --json`` — so the profiling
+workflow and the reporting pipeline read identical data.
+
+:func:`aggregate_level_seconds` slices a span forest into exclusive
+per-(level, phase) seconds — the measured analogue of the paper's
+Figure 4 breakdown — and :func:`level_breakdown_table` renders it (or
+any per-level mapping) as the human-readable table the CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Iterable
+
+from .metrics import MetricsRegistry, get_registry
+from .tracer import Tracer, get_tracer
+
+SCHEMA = "repro.telemetry/v1"
+SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# document assembly and round-trip
+# ----------------------------------------------------------------------
+def trace_document(
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
+    meta: dict[str, Any] | None = None,
+) -> dict:
+    """Bundle (tracer, registry) into one JSON-serializable document."""
+    tracer = tracer if tracer is not None else get_tracer()
+    registry = registry if registry is not None else get_registry()
+    return {
+        "schema": SCHEMA,
+        "version": SCHEMA_VERSION,
+        "meta": dict(meta or {}),
+        "spans": [root.to_dict() for root in tracer.roots],
+        "metrics": registry.snapshot(),
+    }
+
+
+def validate_trace(doc: dict) -> dict:
+    """Check the document shape; returns ``doc`` for chaining."""
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a mapping")
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"unknown trace schema {doc.get('schema')!r}")
+    if doc.get("version") != SCHEMA_VERSION:
+        raise ValueError(f"unsupported trace version {doc.get('version')!r}")
+    if not isinstance(doc.get("spans"), list):
+        raise ValueError("trace document missing 'spans' list")
+    if not isinstance(doc.get("metrics"), dict):
+        raise ValueError("trace document missing 'metrics' mapping")
+    for span in doc["spans"]:
+        _validate_span(span)
+    return doc
+
+
+def _validate_span(span: dict) -> None:
+    for key in ("name", "duration_s", "attrs", "children"):
+        if key not in span:
+            raise ValueError(f"span missing {key!r}: {span}")
+    for child in span["children"]:
+        _validate_span(child)
+
+
+def write_trace(
+    path: str | pathlib.Path,
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
+    meta: dict[str, Any] | None = None,
+) -> pathlib.Path:
+    """Serialize the current trace to ``path`` (parents created)."""
+    doc = trace_document(tracer, registry, meta)
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    return out
+
+
+def load_trace(path: str | pathlib.Path) -> dict:
+    """Read and validate a trace document written by :func:`write_trace`."""
+    return validate_trace(json.loads(pathlib.Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# per-level slicing (Figure 4 backing data)
+# ----------------------------------------------------------------------
+def iter_span_dicts(spans: Iterable[dict]) -> Iterable[dict]:
+    """Depth-first walk over serialized spans."""
+    for span in spans:
+        yield span
+        yield from iter_span_dicts(span["children"])
+
+
+def aggregate_level_seconds(spans: Iterable[dict]) -> dict[int, dict[str, float]]:
+    """Exclusive per-(level, phase) seconds from a serialized span forest.
+
+    Each span's *self* time (duration minus direct children) is
+    attributed to its own name under the multigrid level given by its
+    ``level`` attribute, inherited from the nearest ancestor when
+    absent.  Self times partition the forest exactly, so the values sum
+    to the total traced time — the consistency property the telemetry
+    integration test asserts.
+    """
+    out: dict[int, dict[str, float]] = {}
+
+    def visit(span: dict, level: int) -> None:
+        level = int(span.get("attrs", {}).get("level", level))
+        self_s = span["duration_s"] - sum(
+            c["duration_s"] for c in span["children"]
+        )
+        bucket = out.setdefault(level, {})
+        bucket[span["name"]] = bucket.get(span["name"], 0.0) + self_s
+        for child in span["children"]:
+            visit(child, level)
+
+    for root in spans:
+        visit(root, 0)
+    return out
+
+
+def level_breakdown_table(
+    per_level: dict[int, dict[str, float]],
+    title: str = "per-level breakdown",
+    unit: str = "s",
+    fmt: str = "{:.6g}",
+) -> str:
+    """Render any {level: {column: value}} mapping as an aligned table."""
+    levels = sorted(per_level)
+    columns: list[str] = []
+    for lvl in levels:
+        for key in per_level[lvl]:
+            if key not in columns:
+                columns.append(key)
+    header = ["level"] + columns + [f"total [{unit}]"]
+    rows: list[list[str]] = []
+    for lvl in levels:
+        vals = per_level[lvl]
+        rows.append(
+            [str(lvl)]
+            + [fmt.format(vals.get(c, 0.0)) for c in columns]
+            + [fmt.format(sum(vals.values()))]
+        )
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Solver instrumentation helpers.
+
+Every Krylov driver (``gcr``, ``bicgstab``, ``cg``, ``mr``, ...) wears
+:func:`instrumented_solver`: with telemetry off the wrapper is a flag
+test and a plain call; with telemetry on, the solve runs inside a
+``solve.<name>`` span and books its iteration/matvec totals and final
+residual into the global registry.  This is how the nested coarse-grid
+GCR solves show up as children of the K-cycle spans without any solver
+knowing about multigrid.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from .metrics import get_registry
+from .tracer import get_tracer
+
+
+def record_solve(name: str, result) -> None:
+    """Book a finished solve's totals into the global registry."""
+    reg = get_registry()
+    if not reg.enabled:
+        return
+    reg.counter("solver.solves", solver=name).inc()
+    reg.counter("solver.iterations", solver=name).inc(result.iterations)
+    reg.counter("solver.matvecs", solver=name).inc(result.matvecs)
+    reg.histogram("solver.iterations_per_solve", solver=name).observe(
+        result.iterations
+    )
+    reg.histogram("solver.final_residual", solver=name).observe(
+        result.final_residual
+    )
+
+
+def instrumented_solver(name: str):
+    """Decorate a ``solver(op, b, ...) -> SolveResult`` entry point."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            tracer = get_tracer()
+            if not tracer.enabled and not get_registry().enabled:
+                return fn(*args, **kwargs)
+            with tracer.span(f"solve.{name}") as sp:
+                result = fn(*args, **kwargs)
+                sp.annotate(
+                    iterations=result.iterations,
+                    matvecs=result.matvecs,
+                    converged=result.converged,
+                )
+            record_solve(name, result)
+            return result
+
+        return wrapper
+
+    return decorate

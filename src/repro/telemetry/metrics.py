@@ -1,0 +1,209 @@
+"""Metrics registry: counters, gauges, and labelled histograms.
+
+One registry supersedes the accounting that used to be scattered across
+``OperatorCounter`` instances, per-level ``LevelStats`` and ad-hoc
+``SolveResult.extra`` dicts.  A metric is identified by a name plus a
+frozen label set, so ``registry.counter("mg.op_applies", level=2)`` and
+``level=1`` are independent series that export side by side.
+
+Like the tracer, a disabled registry hands out one shared null metric:
+hot paths pay a single attribute test and no allocation.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any
+
+LabelKey = tuple[tuple[str, Any], ...]
+
+
+class _NullMetric:
+    """Do-nothing counter/gauge/histogram for the disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class Counter:
+    """Monotonically increasing count (matvecs, reductions, bytes...)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (levels, sizes, residuals)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """Full-fidelity distribution with percentile queries.
+
+    Observation counts here are small (iterations per solve, span
+    durations), so we keep every sample rather than bucketing —
+    percentiles are then exact, which the latency analysis of the
+    coarse-grid reductions (paper §6) needs.
+    """
+
+    __slots__ = ("name", "labels", "samples", "_lock")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.samples: list[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def sum(self) -> float:
+        return float(sum(self.samples))
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile ``p`` in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self.samples)
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def to_dict(self) -> dict:
+        return {
+            "labels": dict(self.labels),
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+            "max": max(self.samples) if self.samples else 0.0,
+        }
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class MetricsRegistry:
+    """Lazily-created metric families keyed by (name, labels)."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: dict[tuple[str, str, LabelKey], Any] = {}
+        self._lock = threading.Lock()
+
+    # -- hot path -------------------------------------------------------
+    def _get(self, cls, name: str, labels: dict[str, Any]):
+        if not self.enabled:
+            return _NULL_METRIC
+        key = (cls.kind, name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.setdefault(key, cls(name, key[2]))
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # -- inspection / export --------------------------------------------
+    def collect(self, kind: str | None = None) -> list:
+        with self._lock:
+            metrics = list(self._metrics.values())
+        if kind is not None:
+            metrics = [m for m in metrics if m.kind == kind]
+        return metrics
+
+    def value(self, name: str, **labels) -> float:
+        """Current value of a counter/gauge (0.0 if never touched)."""
+        key_labels = _label_key(labels)
+        for m in self.collect():
+            if m.name == name and m.labels == key_labels and m.kind != "histogram":
+                return m.value
+        return 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-serializable dump grouped by metric kind and name."""
+        out: dict[str, dict[str, list]] = {"counter": {}, "gauge": {}, "histogram": {}}
+        for m in self.collect():
+            out[m.kind].setdefault(m.name, []).append(m.to_dict())
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+_GLOBAL = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry the solver hot paths report into."""
+    return _GLOBAL

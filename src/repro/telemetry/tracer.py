@@ -1,0 +1,202 @@
+"""Hierarchical span tracer.
+
+A *span* is a named, timed region of execution; spans nest by call
+order, so the finished trace is a forest whose shape mirrors the solve
+recursion (outer GCR → K-cycle per level → smoother / restrict /
+prolong / coarse-solve → halo exchange).  Each span records a monotonic
+duration (``time.perf_counter``), the wall-clock instant it started
+(``time.time``), and arbitrary key/value attributes (most importantly
+``level`` for the multigrid hot paths).
+
+Design constraints, in order:
+
+1. **Near-zero overhead when disabled.**  ``Tracer.span`` on a disabled
+   tracer returns one shared no-op context manager: a single attribute
+   test, no allocation, no timestamp.
+2. **Thread safety.**  The open-span stack is thread-local (each thread
+   traces its own call tree); finished root spans are appended to a
+   shared list under a lock.
+3. **No global mutable surprises.**  The module-level tracer exists for
+   convenience (hot paths must not thread a tracer argument through
+   every call), but :class:`Tracer` instances are independent and fully
+   testable in isolation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Iterator
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def annotate(self, **attrs) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed region; also its own context manager.
+
+    Spans are created by :meth:`Tracer.span` and must be used as
+    ``with`` blocks; entering records the timestamps and pushes the
+    span onto the tracer's (thread-local) open stack, exiting pops it
+    and attaches it to its parent (or to the tracer's finished roots).
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "children",
+        "start_s",
+        "end_s",
+        "wall_start",
+        "_tracer",
+    )
+
+    def __init__(self, name: str, attrs: dict[str, Any], tracer: "Tracer"):
+        self.name = name
+        self.attrs = attrs
+        self.children: list[Span] = []
+        self.start_s: float | None = None
+        self.end_s: float | None = None
+        self.wall_start: float | None = None
+        self._tracer = tracer
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "Span":
+        self.wall_start = time.time()
+        self.start_s = time.perf_counter()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.end_s = time.perf_counter()
+        self._tracer._pop(self)
+        return False
+
+    # -- API ------------------------------------------------------------
+    def annotate(self, **attrs) -> "Span":
+        """Attach attributes to an open span (e.g. iteration counts)."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        if self.start_s is None or self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def self_time_s(self) -> float:
+        """Duration minus the time covered by direct children."""
+        return self.duration_s - sum(c.duration_s for c in self.children)
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (schema ``repro.telemetry/v1``)."""
+        return {
+            "name": self.name,
+            "wall_start": self.wall_start,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, duration_s={self.duration_s:.6f}, "
+            f"children={len(self.children)}, attrs={self.attrs})"
+        )
+
+
+class Tracer:
+    """A span factory plus the forest of finished root spans."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.roots: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- hot path -------------------------------------------------------
+    def span(self, name: str, **attrs):
+        """Open a span; with tracing disabled this is one attribute test."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(name, attrs, self)
+
+    # -- stack maintenance (called by Span) -----------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # tolerate disable-while-open: only pop what we actually pushed
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:
+            stack.remove(span)
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+
+    # -- inspection -----------------------------------------------------
+    def current(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Depth-first iteration over every finished span."""
+        with self._lock:
+            roots = list(self.roots)
+        for root in roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> list[Span]:
+        return [s for s in self.iter_spans() if s.name == name]
+
+    def total_s(self, name: str) -> float:
+        return sum(s.duration_s for s in self.find(name))
+
+    def reset(self) -> None:
+        with self._lock:
+            self.roots.clear()
+        self._local = threading.local()
+
+
+_GLOBAL = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer the solver hot paths report into."""
+    return _GLOBAL
+
+
+def span(name: str, **attrs):
+    """Open a span on the global tracer (convenience for hot paths)."""
+    return _GLOBAL.span(name, **attrs)

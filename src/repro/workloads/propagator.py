@@ -85,8 +85,8 @@ def run_propagator(
             dt = time.perf_counter() - t0
             result.iterations.append(res.iterations)
             result.times_s.append(dt)
-            if "level_stats" in res.extra:
-                result.level_stats.append(res.extra["level_stats"])
+            if res.telemetry.level_stats:
+                result.level_stats.append(res.telemetry.level_stats)
             # double-solve error estimate: continue to much tighter tol
             tight = solve(b.data, tol_override=res.final_residual * error_check_factor)
             err = norm(res.x - tight.x) / max(norm(tight.x), 1e-300)

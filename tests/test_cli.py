@@ -37,3 +37,41 @@ class TestCli:
         f = tmp_path / "artifacts" / "table1.txt"
         assert f.exists()
         assert "Aniso40" in f.read_text()
+
+    def test_trace_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "NoSuchDataset"])
+
+    def test_replay_mode_does_not_enable_telemetry(self, tmp_path, capsys):
+        from repro import telemetry
+
+        assert main(["fig4", "--out", str(tmp_path)]) == 0
+        assert not telemetry.enabled()
+        assert not (tmp_path / "trace.json").exists()
+
+    def test_measured_out_persists_trace(self, tmp_path, monkeypatch, capsys):
+        """Measured-mode solve traces are persisted, not discarded."""
+        import repro.reporting.fig4 as fig4_mod
+        from repro import telemetry
+        from repro.telemetry import load_trace
+
+        def fake_render(mode="replay", n_rhs=2, trace=None):
+            with telemetry.span("mg.solve", level=0):
+                pass
+            return "fig4 stub"
+
+        monkeypatch.setattr(fig4_mod, "render", fake_render)
+        assert main(["fig4", "--mode", "measured", "--out", str(tmp_path)]) == 0
+        assert not telemetry.enabled()  # toggled back off after the run
+        doc = load_trace(tmp_path / "trace.json")
+        assert doc["meta"] == {"kind": "artifact", "artifact": "fig4", "mode": "measured"}
+        assert doc["spans"] and doc["spans"][0]["name"] == "mg.solve"
+
+    def test_measured_telemetry_flag_writes_named_file(self, tmp_path, monkeypatch, capsys):
+        import repro.reporting.fig4 as fig4_mod
+        from repro.telemetry import load_trace
+
+        monkeypatch.setattr(fig4_mod, "render", lambda mode="replay", n_rhs=2, trace=None: "stub")
+        out = tmp_path / "run.json"
+        assert main(["fig4", "--mode", "measured", "--telemetry", str(out)]) == 0
+        assert load_trace(out)["meta"]["artifact"] == "fig4"

@@ -1,0 +1,359 @@
+"""The telemetry subsystem: tracer, metrics, export, and solver wiring.
+
+The whole module is marker-gated (``pytest -q -m telemetry`` runs just
+this fast group).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.solvers.base import OperatorCounter, SolveResult
+from repro.telemetry import (
+    MetricsRegistry,
+    SolveTelemetry,
+    Tracer,
+    aggregate_level_seconds,
+    level_breakdown_table,
+    load_trace,
+    trace_document,
+    validate_trace,
+    write_trace,
+)
+from repro.telemetry.tracer import _NULL_SPAN
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestTracer:
+    def test_nesting_follows_call_order(self):
+        tr = Tracer(enabled=True)
+        with tr.span("outer", level=0):
+            with tr.span("inner-a", level=1):
+                pass
+            with tr.span("inner-b", level=1):
+                with tr.span("leaf"):
+                    pass
+        assert len(tr.roots) == 1
+        root = tr.roots[0]
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner-a", "inner-b"]
+        assert [c.name for c in root.children[1].children] == ["leaf"]
+
+    def test_durations_are_consistent(self):
+        tr = Tracer(enabled=True)
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        root = tr.roots[0]
+        assert root.duration_s >= root.children[0].duration_s >= 0.0
+        assert root.self_time_s() >= 0.0
+
+    def test_annotate_and_walk(self):
+        tr = Tracer(enabled=True)
+        with tr.span("a") as sp:
+            sp.annotate(iterations=7)
+            with tr.span("b"):
+                pass
+        assert tr.roots[0].attrs["iterations"] == 7
+        assert [s.name for s in tr.roots[0].walk()] == ["a", "b"]
+        assert tr.total_s("b") <= tr.total_s("a")
+
+    def test_sibling_roots_ordered(self):
+        tr = Tracer(enabled=True)
+        for name in ("first", "second", "third"):
+            with tr.span(name):
+                pass
+        assert [r.name for r in tr.roots] == ["first", "second", "third"]
+
+    def test_disabled_returns_shared_null_span(self):
+        tr = Tracer(enabled=False)
+        s1 = tr.span("hot", level=3)
+        s2 = tr.span("other")
+        assert s1 is s2 is _NULL_SPAN  # no allocation on the disabled path
+        with s1 as inner:
+            assert inner is _NULL_SPAN
+            inner.annotate(anything=1)
+        assert tr.roots == []
+
+    def test_reset_drops_roots(self):
+        tr = Tracer(enabled=True)
+        with tr.span("x"):
+            pass
+        tr.reset()
+        assert tr.roots == []
+
+    def test_threads_trace_independent_trees(self):
+        tr = Tracer(enabled=True)
+
+        def work(tag):
+            with tr.span("root", tag=tag):
+                with tr.span("child", tag=tag):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tr.roots) == 4
+        for root in tr.roots:
+            assert [c.name for c in root.children] == ["child"]
+            assert root.children[0].attrs["tag"] == root.attrs["tag"]
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("matvecs", level=0).inc()
+        reg.counter("matvecs", level=0).inc(2)
+        reg.counter("matvecs", level=1).inc(5)
+        reg.gauge("n_levels").set(3)
+        assert reg.value("matvecs", level=0) == 3
+        assert reg.value("matvecs", level=1) == 5
+        assert reg.value("n_levels") == 3
+
+    def test_labels_separate_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("bytes", mu=0)
+        b = reg.counter("bytes", mu=1)
+        assert a is not b
+        assert a is reg.counter("bytes", mu=0)
+
+    def test_histogram_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.sum == pytest.approx(5050.0)
+        assert h.mean == pytest.approx(50.5)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(90) == pytest.approx(90.1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_disabled_registry_hands_out_null_metric(self):
+        reg = MetricsRegistry(enabled=False)
+        m = reg.counter("anything", level=2)
+        m.inc(100)
+        m.observe(1.0)
+        m.set(5.0)
+        assert reg.collect() == []
+        assert reg.value("anything", level=2) == 0.0
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", level=0).inc()
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert snap["counter"]["c"][0] == {"labels": {"level": 0}, "value": 1.0}
+        assert snap["gauge"]["g"][0]["value"] == 2.0
+        assert snap["histogram"]["h"][0]["count"] == 1
+
+
+class TestOperatorCounterUnification:
+    class _Op:
+        ns, nc = 4, 3
+
+        def apply(self, v):
+            return v
+
+    class _Stats:
+        op_applies = 0
+
+    def test_counts_and_books_into_stats_sink(self):
+        stats = self._Stats()
+        reg = MetricsRegistry()
+        op = OperatorCounter(
+            self._Op(), stats=stats, metric=reg.counter("mg.op_applies", level=1)
+        )
+        v = np.ones(3)
+        op.apply(v)
+        op.matvec(v)
+        assert op.count == 2
+        assert stats.op_applies == 2
+        assert reg.value("mg.op_applies", level=1) == 2
+        op.reset()
+        assert op.count == 0
+
+
+class TestSolveResultTelemetry:
+    def _result(self, **kw):
+        return SolveResult(np.zeros(4), True, 3, 1e-9, [1.0, 1e-9], 5, **kw)
+
+    def test_extra_is_alias_of_telemetry_attrs(self):
+        r = self._result()
+        r.extra["level_stats"] = {0: {"op_applies": 1}}
+        assert r.telemetry.attrs["level_stats"] == {0: {"op_applies": 1}}
+        assert r.extra is r.telemetry.attrs
+
+    def test_constructor_extra_kwarg_still_accepted(self):
+        r = self._result(extra={"reductions": 12})
+        assert r.extra["reductions"] == 12
+        assert r.telemetry.attrs["reductions"] == 12
+
+    def test_to_dict_round_trips_through_json(self):
+        r = self._result()
+        r.telemetry.level_stats = {0: {"op_applies": 2.0}}
+        r.telemetry.metrics["outer_iterations"] = 3.0
+        d = json.loads(json.dumps(r.to_dict()))
+        assert d["iterations"] == 3
+        assert d["converged"] is True
+        tele = SolveTelemetry.from_dict(d["telemetry"])
+        assert tele.level_stats == {0: {"op_applies": 2.0}}
+        assert tele.metrics["outer_iterations"] == 3.0
+
+
+class TestExport:
+    def _populated(self):
+        tr = Tracer(enabled=True)
+        reg = MetricsRegistry()
+        with tr.span("mg.solve", level=0):
+            with tr.span("smoother", level=0):
+                pass
+            with tr.span("coarse-solve", level=1):
+                pass
+        reg.counter("mg.op_applies", level=0).inc(4)
+        reg.histogram("solver.iterations_per_solve", solver="gcr").observe(7)
+        return tr, reg
+
+    def test_schema_round_trip(self, tmp_path):
+        tr, reg = self._populated()
+        path = write_trace(tmp_path / "t.json", tr, reg, meta={"dataset": "x"})
+        doc = load_trace(path)
+        assert doc["schema"] == telemetry.SCHEMA
+        assert doc["meta"]["dataset"] == "x"
+        assert doc["spans"][0]["name"] == "mg.solve"
+        names = {c["name"] for c in doc["spans"][0]["children"]}
+        assert names == {"smoother", "coarse-solve"}
+        assert doc["metrics"]["counter"]["mg.op_applies"][0]["value"] == 4.0
+
+    def test_validate_rejects_bad_documents(self):
+        with pytest.raises(ValueError):
+            validate_trace({"schema": "something/else"})
+        tr, reg = self._populated()
+        doc = trace_document(tr, reg)
+        del doc["spans"][0]["children"]
+        with pytest.raises(ValueError):
+            validate_trace(doc)
+
+    def test_aggregate_level_seconds_partitions_total(self):
+        tr, reg = self._populated()
+        doc = trace_document(tr, reg)
+        per_level = aggregate_level_seconds(doc["spans"])
+        assert set(per_level) == {0, 1}
+        total = sum(v for lvl in per_level.values() for v in lvl.values())
+        root_total = sum(s["duration_s"] for s in doc["spans"])
+        assert total == pytest.approx(root_total, rel=1e-9, abs=1e-12)
+
+    def test_breakdown_table_renders_all_levels(self):
+        table = level_breakdown_table(
+            {0: {"smoother": 1.5, "restrict": 0.5}, 1: {"coarse-solve": 2.0}}
+        )
+        assert "level" in table and "smoother" in table and "coarse-solve" in table
+        assert "1.5" in table and "2" in table
+
+
+class TestGlobalToggle:
+    def test_enable_disable_cycle(self):
+        assert not telemetry.enabled()
+        telemetry.enable()
+        try:
+            assert telemetry.enabled()
+            with telemetry.span("probe"):
+                pass
+            assert telemetry.get_tracer().find("probe")
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert not telemetry.enabled()
+        assert telemetry.get_tracer().roots == []
+
+
+class TestSolverIntegration:
+    @pytest.fixture()
+    def enabled_telemetry(self):
+        telemetry.enable()
+        telemetry.reset()
+        yield
+        telemetry.disable()
+        telemetry.reset()
+
+    def _mg_solver(self):
+        from repro.dirac import WilsonCloverOperator
+        from repro.gauge import disordered_field
+        from repro.lattice import Lattice
+        from repro.mg import LevelParams, MGParams, MultigridSolver
+
+        lat = Lattice((4, 4, 4, 4))
+        u = disordered_field(lat, np.random.default_rng(3), 0.4)
+        op = WilsonCloverOperator(u, mass=-0.2, c_sw=1.0)
+        params = MGParams(
+            levels=[LevelParams(block=(2, 2, 2, 2), n_null=3, null_iters=10)],
+            outer_tol=1e-6,
+            outer_maxiter=40,
+        )
+        return MultigridSolver(op, params, np.random.default_rng(4))
+
+    def test_mg_solve_produces_consistent_per_level_spans(self, enabled_telemetry):
+        from tests.conftest import random_spinor
+        from repro.lattice import Lattice
+
+        mg = self._mg_solver()
+        res = mg.solve(random_spinor(Lattice((4, 4, 4, 4)), seed=5))
+
+        tracer = telemetry.get_tracer()
+        names = {s.name for s in tracer.iter_spans()}
+        for required in (
+            "mg.setup",
+            "mg.solve",
+            "smoother",
+            "restrict",
+            "prolong",
+            "coarse-solve",
+            "solve.gcr",
+        ):
+            assert required in names, f"missing span {required}"
+
+        # span tree and typed result agree
+        assert res.telemetry.spans and res.telemetry.spans[0]["name"] == "mg.solve"
+        assert set(res.telemetry.level_stats) == {0, 1}
+        assert res.telemetry.level_stats[0]["smoother_applies"] > 0
+
+        # exclusive per-level seconds partition the traced total exactly
+        doc = trace_document()
+        per_level = aggregate_level_seconds(doc["spans"])
+        total = sum(v for lvl in per_level.values() for v in lvl.values())
+        root_total = sum(s["duration_s"] for s in doc["spans"])
+        assert total == pytest.approx(root_total, rel=1e-6)
+
+        # metrics registry absorbed the LevelStats accounting
+        reg = telemetry.get_registry()
+        assert reg.value("mg.solves", subspace="12/12") >= 0  # label may differ
+        assert sum(
+            e["value"]
+            for e in reg.snapshot()["counter"].get("mg.op_applies", [])
+        ) > 0
+
+    def test_disabled_telemetry_records_nothing_during_solve(self):
+        telemetry.disable()
+        telemetry.reset()
+        mg = self._mg_solver()
+        from tests.conftest import random_spinor
+        from repro.lattice import Lattice
+
+        res = mg.solve(random_spinor(Lattice((4, 4, 4, 4)), seed=6))
+        assert telemetry.get_tracer().roots == []
+        assert telemetry.get_registry().collect() == []
+        assert res.telemetry.spans == []
+        # the typed per-level profile is still populated (it is cheap)
+        assert res.telemetry.level_stats[0]["op_applies"] > 0

@@ -1,23 +1,28 @@
 """Profile a representative multigrid solve (optimization workflow).
 
 Per the profiling-first discipline: before touching any kernel, measure
-where the time goes.  Runs cProfile over one MG setup + solve on a
-scaled dataset and prints the hottest functions, plus the per-level
-work profile the solver already collects.
+where the time goes.  The default mode runs cProfile over one MG
+setup + solve on a scaled dataset and prints the hottest functions plus
+the per-level work profile; ``--json`` instead runs the solve under the
+telemetry tracer and emits the same ``repro.telemetry/v1`` trace
+document the benchmarks and the ``repro trace`` CLI produce, so every
+profiling artifact shares one schema.
 
-Usage:  python tools/profile_solve.py [dataset-label]
+Usage:  python tools/profile_solve.py [dataset-label] [--json [FILE]]
 """
 
 from __future__ import annotations
 
+import argparse
 import cProfile
+import json
 import pstats
 import sys
 
 import numpy as np
 
 
-def main(label: str = "Aniso40") -> None:
+def _run_solve(label: str):
     from repro.dirac import WilsonCloverOperator
     from repro.fields import SpinorField
     from repro.mg import MultigridSolver
@@ -26,11 +31,61 @@ def main(label: str = "Aniso40") -> None:
     ds = SCALED_FOR_PAPER[label]
     op = WilsonCloverOperator(ds.gauge(), **ds.operator_kwargs())
     b = SpinorField.random(ds.lattice(), rng=np.random.default_rng(0))
+    mg = MultigridSolver(op, mg_params_for(ds, "24/24"), np.random.default_rng(1))
+    res = mg.solve(b.data)
+    return ds, res
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("dataset", nargs="?", default="Aniso40")
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit a repro.telemetry/v1 trace document instead of cProfile "
+        "output (to FILE, or stdout when no FILE is given)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.json is not None:
+        from repro import telemetry
+
+        telemetry.enable()
+        telemetry.reset()
+        try:
+            ds, res = _run_solve(args.dataset)
+            doc = telemetry.trace_document(
+                meta={
+                    "kind": "profile",
+                    "dataset": ds.label,
+                    "converged": bool(res.converged),
+                    "iterations": int(res.iterations),
+                }
+            )
+        finally:
+            telemetry.disable()
+        text = json.dumps(doc, indent=1, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(text + "\n")
+            per_level = telemetry.aggregate_level_seconds(doc["spans"])
+            print(
+                telemetry.level_breakdown_table(
+                    per_level,
+                    title=f"profile {ds.label}: exclusive seconds per level",
+                )
+            )
+            print(f"trace written to {args.json}")
+        return 0
 
     profiler = cProfile.Profile()
     profiler.enable()
-    mg = MultigridSolver(op, mg_params_for(ds, "24/24"), np.random.default_rng(1))
-    res = mg.solve(b.data)
+    ds, res = _run_solve(args.dataset)
     profiler.disable()
 
     print(f"dataset {ds.label}: converged={res.converged} in {res.iterations} iters\n")
@@ -39,9 +94,10 @@ def main(label: str = "Aniso40") -> None:
     print("=== top functions by cumulative time ===")
     stats.print_stats(18)
     print("=== per-level work profile ===")
-    for lvl, st in res.extra["level_stats"].items():
+    for lvl, st in res.telemetry.level_stats.items():
         print(f"  level {lvl}: {st}")
+    return 0
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "Aniso40")
+    raise SystemExit(main(sys.argv[1:]))
