@@ -9,7 +9,10 @@ measured solver data; running the real solves once per process keeps
 
 from __future__ import annotations
 
+import json
 import os
+import pathlib
+import platform
 from functools import lru_cache
 
 from repro.reporting.experiments import measure_dataset, price_dataset
@@ -17,6 +20,46 @@ from repro.machine import MachineModel
 from repro.workloads import PAPER_DATASETS, SCALED_FOR_PAPER
 
 N_RHS = int(os.environ.get("REPRO_BENCH_RHS", "1"))
+
+# Shared result-document schema for benchmarks that persist measurements
+# (set REPRO_BENCH_OUT to a directory to collect them).
+BENCH_SCHEMA = "repro.bench/v1"
+BENCH_OUT = os.environ.get("REPRO_BENCH_OUT")
+
+
+def bench_document(name: str, rows: list[dict], meta: dict | None = None) -> dict:
+    """Wrap benchmark rows in the shared ``repro.bench/v1`` envelope.
+
+    ``rows`` is a list of flat JSON-safe dicts (one measurement each);
+    ``meta`` carries free-form context (dataset, parameters).  The
+    envelope adds the schema tag and the host it was measured on so
+    collected documents are self-describing.
+    """
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "meta": meta or {},
+        "rows": rows,
+    }
+
+
+def write_bench_document(
+    name: str, rows: list[dict], meta: dict | None = None
+) -> dict:
+    """Build a bench document and, if ``REPRO_BENCH_OUT`` is set,
+    persist it there as ``<name>.json``.  Returns the document."""
+    doc = bench_document(name, rows, meta)
+    if BENCH_OUT:
+        out = pathlib.Path(BENCH_OUT)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{name}.json").write_text(
+            json.dumps(doc, indent=1, sort_keys=True) + "\n"
+        )
+    return doc
 
 
 @lru_cache(maxsize=None)

@@ -1,0 +1,67 @@
+"""Solve-service throughput versus dynamic batch size (paper Section 9).
+
+Pushes a burst of single-RHS requests through the service at several
+``max_batch`` settings and reports requests/s and p50/p95 latency.  The
+batch-8-over-batch-1 throughput ratio is the end-to-end, through-the-
+service measurement of the multi-RHS reformulation's amortization; the
+setup cache keeps the adaptive setup out of the comparison.
+
+Set ``REPRO_BENCH_SERVE_REQUESTS`` to change the burst size (default
+12, one propagator's worth) and ``REPRO_BENCH_OUT`` to persist the
+``repro.bench/v1`` document.
+"""
+
+import os
+
+import pytest
+
+from repro.serve import render_table, run_serve_bench
+from repro.workloads import ANISO40_SCALED
+
+from _shared import write_bench_document
+
+N_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", "12"))
+BATCH_SIZES = (1, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def serve_doc():
+    return run_serve_bench(
+        dataset=ANISO40_SCALED,
+        batch_sizes=BATCH_SIZES,
+        n_requests=N_REQUESTS,
+    )
+
+
+def test_bench_serve_throughput(serve_doc, capsys):
+    """Requests/s and latency per max_batch; document persisted."""
+    rows = serve_doc["rows"]
+    doc = write_bench_document(
+        "serve_throughput",
+        rows,
+        meta={
+            "dataset": serve_doc["dataset"],
+            "n_requests": serve_doc["n_requests"],
+            "tol": serve_doc["tol"],
+            "speedups_vs_batch1": serve_doc["speedups_vs_batch1"],
+            "setup_cache": serve_doc["setup_cache"],
+        },
+    )
+    with capsys.disabled():
+        print()
+        print(render_table(serve_doc))
+    assert doc["schema"] == "repro.bench/v1"
+    assert [r["max_batch"] for r in rows] == list(BATCH_SIZES)
+    assert all(r["all_converged"] for r in rows)
+
+
+def test_batching_raises_throughput(serve_doc):
+    """The Section 9 acceptance bar: batch 8 is >= 2x batch 1."""
+    speedup = serve_doc["speedups_vs_batch1"]["8"]
+    assert speedup >= 2.0, f"batch-8 speedup only {speedup:.2f}x"
+
+
+def test_batched_solutions_match_sequential(serve_doc):
+    """Coalesced solves agree with one-at-a-time solves to tolerance."""
+    for row in serve_doc["rows"]:
+        assert row["max_dev_vs_batch1"] < 50 * serve_doc["tol"]

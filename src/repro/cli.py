@@ -10,6 +10,13 @@ Usage::
     python -m repro.cli fig4   [--mode replay|measured]
     python -m repro.cli all    [--mode replay]
     python -m repro.cli trace  [dataset] [--telemetry out.json]
+    python -m repro.cli serve-bench [dataset] [--batch-sizes 1,4,8,16] [--requests N]
+
+``serve-bench`` runs the solve-service throughput benchmark: a burst of
+single-RHS requests is pushed through the dynamic batcher at several
+``max_batch`` settings and the requests/s and p50/p95 latencies are
+reported (Section 9 multi-RHS batching, measured end to end through the
+service).
 
 ``trace`` runs one measured multigrid solve on a scaled dataset with
 full telemetry enabled and exports the JSON trace document (nested
@@ -27,7 +34,10 @@ import pathlib
 
 from . import telemetry
 
-ARTIFACTS = ["table1", "table2", "table3", "fig2", "fig3", "fig4", "all", "trace"]
+ARTIFACTS = [
+    "table1", "table2", "table3", "fig2", "fig3", "fig4", "all", "trace",
+    "serve-bench",
+]
 
 
 def run_trace(dataset: str, verbose: bool = True) -> dict:
@@ -111,7 +121,46 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="export the telemetry trace of this run as a JSON document",
     )
+    parser.add_argument(
+        "--batch-sizes",
+        default="1,4,8,16",
+        help="comma-separated max_batch settings for serve-bench",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=16,
+        help="requests per serve-bench configuration",
+    )
     args = parser.parse_args(argv)
+
+    if args.artifact == "serve-bench":
+        import json
+
+        from .serve import render_table, run_serve_bench
+        from .workloads import SCALED_FOR_PAPER
+
+        if args.dataset not in SCALED_FOR_PAPER:
+            raise SystemExit(
+                f"unknown dataset {args.dataset!r}; "
+                f"choose from {sorted(SCALED_FOR_PAPER)}"
+            )
+        batch_sizes = tuple(int(s) for s in args.batch_sizes.split(","))
+        doc = run_serve_bench(
+            dataset=SCALED_FOR_PAPER[args.dataset],
+            batch_sizes=batch_sizes,
+            n_requests=args.requests,
+            verbose=True,
+        )
+        print()
+        print(render_table(doc))
+        if args.out is not None:
+            out_dir = pathlib.Path(args.out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = out_dir / "serve-bench.json"
+            path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+            print(f"\nserve-bench document written to {path}")
+        return 0
 
     if args.artifact == "trace":
         doc = run_trace(args.dataset)

@@ -67,6 +67,33 @@ def projectors() -> tuple[np.ndarray, np.ndarray]:
 
 
 @cache
+def projector_factors() -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Rank-2 factorizations ``P = recon @ half`` of the hop projectors.
+
+    Each ``P^{∓mu}`` from :func:`projectors` has rank 2, so a hop can
+    compress the 4-spinor to 2 spin components before the color
+    multiply and reconstruct afterwards — the half-spinor trick that
+    halves the color-matrix work of a dslash.  Returns
+    ``(minus_recon, minus_half, plus_recon, plus_half)`` with shapes
+    ``(4, 4, 2)`` and ``(4, 2, 4)``; the factorization is exact to
+    roundoff (SVD of an exactly rank-2 matrix).
+    """
+    minus, plus = projectors()
+    out = []
+    for proj in (minus, plus):
+        recon = np.empty((NDIM, NS, 2), dtype=np.complex128)
+        half = np.empty((NDIM, 2, NS), dtype=np.complex128)
+        for mu in range(NDIM):
+            u, s, vt = np.linalg.svd(proj[mu])
+            recon[mu] = u[:, :2] * s[:2]
+            half[mu] = vt[:2]
+        recon.setflags(write=False)
+        half.setflags(write=False)
+        out.extend([recon, half])
+    return tuple(out)
+
+
+@cache
 def sigma_munu() -> np.ndarray:
     """``sigma_{mu nu} = (i/2) [g_mu, g_nu]``, shape (4, 4, 4, 4); hermitian.
 

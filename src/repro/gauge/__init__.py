@@ -10,7 +10,7 @@ from .compression import (
 from .generate import disordered_field, free_field, hot_start
 from .heatbath import heatbath_sweep, quenched_ensemble
 from .hmc import hmc_ensemble, hmc_trajectory, leapfrog, wilson_action
-from .io import load_gauge, load_spinor, save_gauge, save_spinor
+from .io import gauge_fingerprint, load_gauge, load_spinor, save_gauge, save_spinor
 from .loops import average_plaquette, clover_leaves, field_strength, plaquette_field
 from .smear import ape_smear, staple_sum
 from .su3 import (
@@ -30,6 +30,7 @@ __all__ = [
     "reconstruct8",
     "reconstruct12",
     "disordered_field",
+    "gauge_fingerprint",
     "load_gauge",
     "load_spinor",
     "save_gauge",

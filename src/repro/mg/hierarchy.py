@@ -132,7 +132,22 @@ class MultigridHierarchy:
         params: MGParams,
         rng: np.random.Generator,
         verbose: bool = False,
+        null_vectors: list[list[np.ndarray]] | None = None,
     ) -> "MultigridHierarchy":
+        """Build the level stack, optionally from precomputed null vectors.
+
+        ``null_vectors`` — one list of near-null vectors per coarsening
+        (as returned by :meth:`export_null_vectors`) — skips the
+        expensive ``generate_null_vectors`` relaxation entirely; the
+        transfer, Galerkin coarsening and smoothers are rebuilt from
+        them deterministically.  This is the restart path of the solve
+        service's persistent setup cache.
+        """
+        if null_vectors is not None and len(null_vectors) != len(params.levels):
+            raise ValueError(
+                f"need one null-vector set per coarsening "
+                f"({len(params.levels)}), got {len(null_vectors)}"
+            )
         tracer = get_tracer()
         levels: list[MGLevel] = []
         current = fine_op
@@ -145,10 +160,20 @@ class MultigridHierarchy:
                         f"null vectors ({lp.null_iters} relaxation iters each)"
                     )
                 with tracer.span("mg.setup.level", level=index):
-                    with tracer.span("null-vectors", level=index):
-                        nulls = generate_null_vectors(
-                            current, lp.n_null, rng, null_iters=lp.null_iters
-                        )
+                    if null_vectors is not None:
+                        provided = null_vectors[index]
+                        if len(provided) != lp.n_null:
+                            raise ValueError(
+                                f"level {index} expects {lp.n_null} null "
+                                f"vectors, got {len(provided)}"
+                            )
+                        with tracer.span("null-vectors-reuse", level=index):
+                            nulls = [np.asarray(v, dtype=np.complex128) for v in provided]
+                    else:
+                        with tracer.span("null-vectors", level=index):
+                            nulls = generate_null_vectors(
+                                current, lp.n_null, rng, null_iters=lp.null_iters
+                            )
                     with tracer.span("transfer-build", level=index):
                         blocking = Blocking(current.lattice, lp.block)
                         transfer = Transfer(blocking, nulls)
@@ -177,6 +202,28 @@ class MultigridHierarchy:
     @property
     def n_levels(self) -> int:
         return len(self.levels)
+
+    def export_null_vectors(self) -> list[list[np.ndarray]]:
+        """The near-null vectors of every coarsening, for persistence.
+
+        Feeding the result back to :meth:`build` (same operator, same
+        params) reproduces this hierarchy without any relaxation work.
+        """
+        return [lev.null_vectors for lev in self.levels if not lev.is_coarsest]
+
+    def setup_memory_bytes(self) -> int:
+        """Approximate resident size of the setup: null vectors plus
+        every ndarray attribute of the level operators (coarse stencils,
+        link copies, clover blocks).  Drives LRU accounting in setup
+        caches."""
+        total = 0
+        for lev in self.levels:
+            for vec in lev.null_vectors:
+                total += vec.nbytes
+            for value in vars(lev.op).values():
+                if isinstance(value, np.ndarray):
+                    total += value.nbytes
+        return total
 
     def reset_stats(self) -> None:
         for lev in self.levels:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..dirac.even_odd import SchurOperator
+from ..dirac.mrhs import batched_schur_for
 from ..solvers.base import SolveResult
 from .hierarchy import MultigridHierarchy
 
@@ -32,64 +32,17 @@ def _bshape(c: np.ndarray, like: np.ndarray) -> np.ndarray:
     return c.reshape((like.shape[0],) + (1,) * (like.ndim - 1))
 
 
-class _BatchedSchur:
-    """Batched application of the red-black Schur system."""
-
-    def __init__(self, op):
-        self.schur = SchurOperator(op, parity=0)
-        self.op = op
-
-    def _lift(self, halves: np.ndarray, parity_own: bool = True) -> np.ndarray:
-        k = halves.shape[0]
-        full = np.zeros(
-            (k, self.op.lattice.volume) + halves.shape[2:], dtype=halves.dtype
-        )
-        sites = (
-            self.schur._own if parity_own else self.schur._other  # noqa: SLF001
-        )
-        full[:, sites] = halves
-        return full
-
-    def _restrict(self, fulls: np.ndarray, parity_own: bool = True) -> np.ndarray:
-        sites = (
-            self.schur._own if parity_own else self.schur._other  # noqa: SLF001
-        )
-        return np.ascontiguousarray(fulls[:, sites])
-
-    def _hop_multi(self, fulls: np.ndarray) -> np.ndarray:
-        out = np.zeros_like(fulls)
-        for mu in range(4):
-            for sign in (+1, -1):
-                table = (
-                    self.op.lattice.fwd[mu] if sign > 0 else self.op.lattice.bwd[mu]
-                )
-                out += np.stack(
-                    [self.op.apply_hop_gathered(mu, sign, f[table]) for f in fulls]
-                )
-        return out
-
-    def apply_multi(self, halves: np.ndarray) -> np.ndarray:
-        fulls = self._lift(halves)
-        hop1 = self._hop_multi(fulls)
-        mid = np.stack([self.op.apply_diag_inv(h) for h in hop1])
-        hop2 = self._hop_multi(mid)
-        diag = np.stack([self.op.apply_diag(f) for f in fulls])
-        return self._restrict(diag - hop2)
-
-    def prepare_multi(self, bs: np.ndarray) -> np.ndarray:
-        return np.stack([self.schur.prepare_source(b) for b in bs])
-
-    def reconstruct_multi(self, xs_half: np.ndarray, bs: np.ndarray) -> np.ndarray:
-        return np.stack(
-            [self.schur.reconstruct(x, b) for x, b in zip(xs_half, bs)]
-        )
-
-
 class BatchedSmoother:
-    """Fixed-step batched MR on the red-black system (zero initial guess)."""
+    """Fixed-step batched MR on the red-black system (zero initial guess).
+
+    The Schur system is applied by the half-volume spin-compressed
+    kernels of :mod:`repro.dirac.mrhs` when the operator supports them
+    (the fine Wilson-Clover matrix does), falling back to a per-system
+    loop otherwise.
+    """
 
     def __init__(self, op, steps: int = 4, omega: float = 0.85):
-        self.bschur = _BatchedSchur(op)
+        self.bschur = batched_schur_for(op)
         self.steps = steps
         self.omega = omega
 
@@ -137,10 +90,10 @@ class BatchedTwoLevelPreconditioner:
         self.coarse_maxiter = coarse_maxiter
 
     def _restrict_multi(self, vs: np.ndarray) -> np.ndarray:
-        return np.stack([self.transfer.restrict(v) for v in vs])
+        return self.transfer.restrict_multi(vs)
 
     def _prolong_multi(self, vcs: np.ndarray) -> np.ndarray:
-        return np.stack([self.transfer.prolong(vc) for vc in vcs])
+        return self.transfer.prolong_multi(vcs)
 
     def apply_multi(self, rs: np.ndarray) -> np.ndarray:
         from ..solvers.block import batched_gcr

@@ -8,7 +8,9 @@ coarse-grid tolerances.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 
 from ..precision import Precision
 
@@ -62,3 +64,35 @@ class MGParams:
     def subspace_label(self) -> str:
         """The paper's strategy label, e.g. '24/32'."""
         return "/".join(str(lp.n_null) for lp in self.levels)
+
+    def canonical_dict(self) -> dict:
+        """A JSON-safe, order-canonicalized view of every parameter.
+
+        Tuples become lists, enums their string values, and ``extra`` is
+        key-sorted, so two :class:`MGParams` describing the same
+        configuration canonicalize identically regardless of how they
+        were constructed.
+        """
+
+        def _clean(obj):
+            if isinstance(obj, Precision):
+                return obj.value
+            if isinstance(obj, dict):
+                return {str(k): _clean(obj[k]) for k in sorted(obj, key=str)}
+            if isinstance(obj, (list, tuple)):
+                return [_clean(x) for x in obj]
+            return obj
+
+        return _clean(asdict(self))
+
+    def fingerprint(self) -> str:
+        """Deterministic content hash of the full configuration.
+
+        SHA-256 of the canonical JSON encoding — stable across
+        processes and field ordering; combined with the gauge-field
+        fingerprint it keys MG setup caches.
+        """
+        payload = json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()

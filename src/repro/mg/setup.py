@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..solvers.bicgstab import bicgstab
+from ..telemetry.metrics import get_registry
 
 
 def generate_null_vectors(
@@ -33,6 +34,9 @@ def generate_null_vectors(
     ns = ns if ns is not None else op.ns
     nc = nc if nc is not None else op.nc
     vol = op.lattice.volume
+    # Booked per call so setup caches can assert a warm hit ran zero
+    # generations (the counter stays untouched on reuse).
+    get_registry().counter("mg.null_vector_generations").inc(n_vectors)
     out: list[np.ndarray] = []
     for _ in range(n_vectors):
         shape = (vol, ns, nc)

@@ -39,11 +39,26 @@ class MultigridSolver:
         params: MGParams,
         rng: np.random.Generator | None = None,
         verbose: bool = False,
+        null_vectors: list[list[np.ndarray]] | None = None,
     ):
         rng = rng if rng is not None else np.random.default_rng()
         self.params = params
-        self.hierarchy = MultigridHierarchy.build(fine_op, params, rng, verbose)
+        self.hierarchy = MultigridHierarchy.build(
+            fine_op, params, rng, verbose, null_vectors=null_vectors
+        )
         self.preconditioner = KCyclePreconditioner(self.hierarchy, level=0)
+
+    @classmethod
+    def from_hierarchy(
+        cls, hierarchy: MultigridHierarchy, params: MGParams | None = None
+    ) -> "MultigridSolver":
+        """Wrap an already-built hierarchy (e.g. one served from a
+        setup cache) without re-running any setup."""
+        self = cls.__new__(cls)
+        self.params = params if params is not None else hierarchy.params
+        self.hierarchy = hierarchy
+        self.preconditioner = KCyclePreconditioner(hierarchy, level=0)
+        return self
 
     # ------------------------------------------------------------------
     def solve(

@@ -1,0 +1,154 @@
+"""Throughput benchmark for the solve service.
+
+Drives a burst of single-RHS requests through :class:`SolveService` at
+several ``max_batch`` settings and reports requests/s and p50/p95
+latency per setting, plus a batched-vs-sequential solution equivalence
+check.  This is the measurement behind the Section 9 claim that the
+multi-RHS reformulation raises throughput: batch size 1 is the
+classical one-solve-at-a-time service, larger batches amortize every
+stencil read over the coalesced systems.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..dirac import WilsonCloverOperator
+from ..workloads.datasets import ANISO40_SCALED, ScaledDataset
+from ..workloads.presets import two_level_params
+from .cache import SetupCache
+from .service import ServeConfig, SolveService
+
+BENCH_SCHEMA = "repro.serve-bench/v1"
+
+
+def _percentile(samples: list[float], p: float) -> float:
+    return float(np.percentile(np.asarray(samples), p))
+
+
+def run_serve_bench(
+    dataset: ScaledDataset = ANISO40_SCALED,
+    batch_sizes: tuple[int, ...] = (1, 4, 8, 16),
+    n_requests: int = 16,
+    strategy: str = "24/24",
+    null_iters: int = 50,
+    tol: float | None = None,
+    rhs_seed: int = 2016,
+    setup_seed: int = 7,
+    max_wait_s: float = 0.05,
+    verbose: bool = False,
+) -> dict:
+    """Measure service throughput versus ``max_batch`` on one dataset.
+
+    The same request burst (identical right-hand sides, submitted
+    back-to-back) runs once per batch size against one shared setup
+    cache, so only the first configuration pays the adaptive setup and
+    the comparison isolates the batching effect.  Returns a JSON-safe
+    document (schema ``repro.serve-bench/v1``).
+    """
+    lattice = dataset.lattice()
+    op = WilsonCloverOperator(dataset.gauge(), **dataset.operator_kwargs())
+    params = two_level_params(dataset, strategy, null_iters=null_iters)
+    if tol is not None:
+        params.outer_tol = tol
+    rng = np.random.default_rng(rhs_seed)
+    shape = (n_requests, lattice.volume, 4, 3)
+    sources = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+    cache = SetupCache()
+    rows: list[dict] = []
+    reference: np.ndarray | None = None
+    for max_batch in batch_sizes:
+        config = ServeConfig(
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+            queue_capacity=max(2 * n_requests, 8),
+            n_workers=1,
+        )
+        with SolveService(config, cache=cache) as svc:
+            svc.register(
+                dataset.label, op, params, rng=np.random.default_rng(setup_seed)
+            )
+            # warm-up solve: pays one-time lazy kernel construction
+            svc.solve(dataset.label, sources[0])
+
+            latencies: list[float] = []
+            t0 = time.perf_counter()
+            futures = []
+            for b in sources:
+                start = time.perf_counter()
+                fut = svc.submit(dataset.label, b)
+                fut.add_done_callback(
+                    lambda _f, s=start: latencies.append(time.perf_counter() - s)
+                )
+                futures.append(fut)
+            results = [f.result() for f in futures]
+            wall = time.perf_counter() - t0
+
+        solutions = np.stack([r.x for r in results])
+        if reference is None:
+            reference = solutions
+            max_dev = 0.0
+        else:
+            scale = np.abs(reference).max()
+            max_dev = float(np.abs(solutions - reference).max() / scale)
+        row = {
+            "max_batch": int(max_batch),
+            "wall_s": wall,
+            "throughput_rps": n_requests / wall,
+            "p50_s": _percentile(latencies, 50),
+            "p95_s": _percentile(latencies, 95),
+            "mean_iterations": float(np.mean([r.iterations for r in results])),
+            "all_converged": bool(all(r.converged for r in results)),
+            "batches": svc.stats["batches"],
+            "max_dev_vs_batch1": max_dev,
+        }
+        rows.append(row)
+        if verbose:
+            print(
+                f"[serve-bench] max_batch={max_batch:3d}  "
+                f"{row['throughput_rps']:7.2f} req/s  "
+                f"p50 {row['p50_s'] * 1e3:8.1f} ms  "
+                f"p95 {row['p95_s'] * 1e3:8.1f} ms  "
+                f"batches {row['batches']}"
+            )
+
+    base = rows[0]["throughput_rps"]
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "dataset": dataset.label,
+        "dims": list(dataset.dims),
+        "n_requests": int(n_requests),
+        "tol": params.outer_tol,
+        "rows": rows,
+        "speedups_vs_batch1": {
+            str(r["max_batch"]): r["throughput_rps"] / base for r in rows
+        },
+        "setup_cache": dict(cache.stats),
+    }
+    return doc
+
+
+def render_table(doc: dict) -> str:
+    """Plain-text table for one :func:`run_serve_bench` document."""
+    lines = [
+        f"serve-bench {doc['dataset']} — {doc['n_requests']} requests, "
+        f"tol {doc['tol']:g}",
+        f"{'batch':>6} {'req/s':>8} {'p50 ms':>9} {'p95 ms':>9} "
+        f"{'speedup':>8} {'max dev':>9}",
+    ]
+    for row in doc["rows"]:
+        speedup = doc["speedups_vs_batch1"][str(row["max_batch"])]
+        lines.append(
+            f"{row['max_batch']:>6} {row['throughput_rps']:>8.2f} "
+            f"{row['p50_s'] * 1e3:>9.1f} {row['p95_s'] * 1e3:>9.1f} "
+            f"{speedup:>7.2f}x {row['max_dev_vs_batch1']:>9.1e}"
+        )
+    cache = doc["setup_cache"]
+    lines.append(
+        f"setup cache: {cache['hits']} hits, {cache['misses']} misses, "
+        f"{cache['evictions']} evictions"
+    )
+    return "\n".join(lines)

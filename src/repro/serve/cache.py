@@ -1,0 +1,237 @@
+"""Persistent multigrid setup cache.
+
+The adaptive setup (paper Section 7.1) is the expensive, reusable part
+of a multigrid solve: the near-null vectors depend only on the gauge
+configuration, the operator parameters and the :class:`MGParams` — not
+on any right-hand side.  Production workflows therefore amortize one
+setup over hundreds of solves, and a *service* should amortize it over
+its whole lifetime, including restarts.
+
+:class:`SetupCache` provides exactly that:
+
+* an in-memory LRU keyed by the deterministic content fingerprint of
+  (gauge field, operator scalars, canonicalized params), accounted and
+  evicted by :meth:`MultigridHierarchy.setup_memory_bytes`;
+* optional disk persistence of the near-null vectors — the only state
+  that is expensive to recompute; transfers, Galerkin coarse operators
+  and smoothers are rebuilt deterministically from them on load — so a
+  restarted service skips ``generate_null_vectors`` entirely;
+* revalidation on load: a stored entry is used only if its recorded
+  gauge/params fingerprints match the live request, otherwise it is
+  treated as a miss and rebuilt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from ..gauge.io import gauge_fingerprint
+from ..mg.hierarchy import MultigridHierarchy
+from ..mg.params import MGParams
+from ..telemetry.metrics import get_registry
+from ..telemetry.tracer import get_tracer
+
+_DISK_VERSION = 1
+
+# Operator scalar attributes that (with the gauge field) determine the
+# fine matrix, and therefore the null space the setup produces.
+_OP_SCALARS = ("mass", "c_sw", "antiperiodic_t", "anisotropy", "hop_weights")
+
+
+def operator_fingerprint(op) -> str:
+    """Deterministic content hash of a fine operator.
+
+    Combines the gauge-field fingerprint with the operator class name
+    and its defining scalars, so two processes constructing the same
+    Wilson-Clover matrix agree on the key.
+    """
+    scalars = {
+        name: getattr(op, name) for name in _OP_SCALARS if hasattr(op, name)
+    }
+    payload = json.dumps(
+        {"class": type(op).__name__, "scalars": scalars},
+        sort_keys=True,
+        default=list,
+    )
+    h = hashlib.sha256()
+    h.update(gauge_fingerprint(op.gauge).encode())
+    h.update(payload.encode())
+    return h.hexdigest()
+
+
+def setup_cache_key(op, params: MGParams) -> str:
+    """The cache key for one (operator, MG configuration) pair."""
+    h = hashlib.sha256()
+    h.update(operator_fingerprint(op).encode())
+    h.update(params.fingerprint().encode())
+    return h.hexdigest()
+
+
+class SetupCache:
+    """LRU cache of built hierarchies with optional disk persistence.
+
+    Parameters
+    ----------
+    max_bytes:
+        In-memory budget for cached setups (estimated by
+        :meth:`MultigridHierarchy.setup_memory_bytes`).  ``None`` means
+        unbounded; the most recently used entry is never evicted.
+    disk_dir:
+        Directory for persisted near-null vectors (created on demand).
+        ``None`` disables persistence.
+
+    Thread safety: concurrent ``get_or_build`` calls for *different*
+    keys build in parallel; calls for the same key serialize on a
+    per-key lock so the setup runs once.
+    """
+
+    def __init__(self, max_bytes: int | None = None, disk_dir: str | None = None):
+        self.max_bytes = max_bytes
+        self.disk_dir = disk_dir
+        self._entries: OrderedDict[str, tuple[MultigridHierarchy, int]] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.RLock()
+        self._key_locks: dict[str, threading.Lock] = {}
+        self.stats = {
+            "hits": 0,
+            "disk_hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "invalid": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def get_or_build(
+        self,
+        op,
+        params: MGParams,
+        rng: np.random.Generator | None = None,
+    ) -> MultigridHierarchy:
+        """The hierarchy for ``(op, params)`` — cached, restored, or built."""
+        key = setup_cache_key(op, params)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self._book("hits", tier="memory")
+                return cached[0]
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            # another thread may have built it while we waited
+            with self._lock:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self._entries.move_to_end(key)
+                    self._book("hits", tier="memory")
+                    return cached[0]
+            hierarchy = self._restore(key, op, params)
+            if hierarchy is None:
+                self._book("misses")
+                rng = rng if rng is not None else np.random.default_rng()
+                with get_tracer().span("serve.setup_cache.build"):
+                    hierarchy = MultigridHierarchy.build(op, params, rng)
+                self._persist(key, op, params, hierarchy)
+            self._insert(key, hierarchy)
+            return hierarchy
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    # ------------------------------------------------------------------
+    def _insert(self, key: str, hierarchy: MultigridHierarchy) -> None:
+        size = hierarchy.setup_memory_bytes()
+        with self._lock:
+            self._entries[key] = (hierarchy, size)
+            self._entries.move_to_end(key)
+            self._bytes += size
+            while (
+                self.max_bytes is not None
+                and self._bytes > self.max_bytes
+                and len(self._entries) > 1
+            ):
+                _, (_, evicted_size) = self._entries.popitem(last=False)
+                self._bytes -= evicted_size
+                self._book("evictions")
+            registry = get_registry()
+            if registry.enabled:
+                registry.gauge("serve.setup_cache.bytes").set(self._bytes)
+                registry.gauge("serve.setup_cache.entries").set(len(self._entries))
+
+    def _book(self, stat: str, **labels) -> None:
+        with self._lock:
+            self.stats[stat] += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(f"serve.setup_cache.{stat}", **labels).inc()
+
+    # -- disk persistence ----------------------------------------------
+    def _path(self, key: str) -> str | None:
+        if self.disk_dir is None:
+            return None
+        return os.path.join(self.disk_dir, f"mgsetup-{key}.npz")
+
+    def _persist(self, key: str, op, params: MGParams, hierarchy) -> None:
+        path = self._path(key)
+        if path is None:
+            return
+        os.makedirs(self.disk_dir, exist_ok=True)
+        payload = {
+            f"level{i}": np.stack(vecs)
+            for i, vecs in enumerate(hierarchy.export_null_vectors())
+        }
+        with get_tracer().span("serve.setup_cache.persist"):
+            np.savez_compressed(
+                path,
+                version=_DISK_VERSION,
+                n_levels=len(payload),
+                gauge_fp=gauge_fingerprint(op.gauge),
+                op_fp=operator_fingerprint(op),
+                params_fp=params.fingerprint(),
+                **payload,
+            )
+
+    def _restore(self, key: str, op, params: MGParams):
+        """Rebuild a hierarchy from persisted null vectors, or ``None``."""
+        path = self._path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with np.load(path) as data:
+                ok = (
+                    int(data["version"]) == _DISK_VERSION
+                    and str(data["gauge_fp"]) == gauge_fingerprint(op.gauge)
+                    and str(data["op_fp"]) == operator_fingerprint(op)
+                    and str(data["params_fp"]) == params.fingerprint()
+                    and int(data["n_levels"]) == len(params.levels)
+                )
+                if not ok:
+                    self._book("invalid")
+                    return None
+                nulls = [
+                    list(data[f"level{i}"]) for i in range(len(params.levels))
+                ]
+        except (OSError, ValueError, KeyError):
+            self._book("invalid")
+            return None
+        with get_tracer().span("serve.setup_cache.restore"):
+            hierarchy = MultigridHierarchy.build(
+                op, params, np.random.default_rng(), null_vectors=nulls
+            )
+        self._book("disk_hits", tier="disk")
+        return hierarchy

@@ -1,0 +1,388 @@
+"""The solve service: request queue, dynamic batching, worker pool.
+
+A long-lived front end for the multigrid solver, shaped like the
+serving layer a production analysis campaign would put in front of it:
+
+* clients :meth:`~SolveService.submit` single right-hand sides and get
+  a future back;
+* a dispatcher coalesces pending requests for the same (operator,
+  tolerance) into one multi-RHS batch — up to ``max_batch`` systems,
+  waiting at most ``max_wait_s`` for stragglers — and hands it to a
+  worker pool;
+* batches on a two-level hierarchy over the fine Wilson-Clover matrix
+  run through :func:`~repro.mg.multi_rhs.batched_mg_solve`, the paper's
+  Section 9 multi-RHS reformulation, so every stencil matrix is read
+  once for the whole batch; anything else falls back to sequential
+  solves with the shared setup;
+* the expensive MG setup is obtained through a :class:`SetupCache`, so
+  repeat registrations (or service restarts, with a disk-backed cache)
+  skip the near-null-vector generation entirely.
+
+Backpressure is a bounded queue: once ``queue_capacity`` requests are
+pending, :meth:`~SolveService.submit` raises
+:class:`ServiceOverloadedError` instead of buffering unboundedly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dirac.mrhs import supports_batched_schur
+from ..mg.multi_rhs import batched_mg_solve
+from ..mg.params import MGParams
+from ..mg.solver import MultigridSolver
+from ..solvers.base import SolveResult
+from ..telemetry.metrics import get_registry
+from ..telemetry.tracer import get_tracer
+from .cache import SetupCache
+
+
+class ServiceOverloadedError(RuntimeError):
+    """The pending queue is full; the client should retry or back off."""
+
+
+class ServiceClosedError(RuntimeError):
+    """The service is shut down and accepts no new requests."""
+
+
+class SolveTimeoutError(TimeoutError):
+    """The request exceeded its deadline while waiting in the queue."""
+
+
+@dataclass
+class ServeConfig:
+    """Tuning knobs of the service."""
+
+    max_batch: int = 8  # systems coalesced into one multi-RHS solve
+    max_wait_s: float = 0.05  # how long a batch head waits for stragglers
+    queue_capacity: int = 64  # pending-request bound (backpressure)
+    n_workers: int = 1  # solver worker threads
+    allow_batching: bool = True  # False forces the sequential path
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+
+
+@dataclass
+class _Request:
+    op_name: str
+    rhs: np.ndarray
+    tol: float
+    timeout_s: float | None
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.perf_counter)
+    id: int = 0
+
+    def expired(self, now: float) -> bool:
+        return self.timeout_s is not None and now - self.enqueued_at > self.timeout_s
+
+
+@dataclass
+class _OperatorEntry:
+    op: object
+    params: MGParams
+    solver: MultigridSolver
+    batchable: bool
+
+
+class SolveService:
+    """Dynamic-batching multigrid solve service.
+
+    Typical use::
+
+        cache = SetupCache(disk_dir="setup-cache")
+        with SolveService(ServeConfig(max_batch=8), cache=cache) as svc:
+            svc.register("aniso", op, params)
+            futures = [svc.submit("aniso", b) for b in sources]
+            results = [f.result() for f in futures]
+
+    Futures resolve to the same :class:`~repro.solvers.base.SolveResult`
+    the direct solver returns.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        cache: SetupCache | None = None,
+    ):
+        self.config = config if config is not None else ServeConfig()
+        self.cache = cache if cache is not None else SetupCache()
+        self._ops: dict[str, _OperatorEntry] = {}
+        self._pending: deque[_Request] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._ids = itertools.count(1)
+        self.stats = {
+            "submitted": 0,
+            "completed": 0,
+            "rejected": 0,
+            "timeouts": 0,
+            "failed": 0,
+            "batches": 0,
+            "batched_systems": 0,
+        }
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.n_workers, thread_name_prefix="serve-worker"
+        )
+        # One permit per worker: the dispatcher takes a batch only when a
+        # worker can run it, so waiting requests stay in the bounded
+        # pending queue (where submit() can reject them) instead of
+        # draining into the executor's unbounded internal queue.
+        self._slots = threading.Semaphore(self.config.n_workers)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- registration ---------------------------------------------------
+    def register(
+        self,
+        name: str,
+        op,
+        params: MGParams,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        """Make ``op`` solvable under ``name``; setup comes via the cache."""
+        hierarchy = self.cache.get_or_build(op, params, rng)
+        solver = MultigridSolver.from_hierarchy(hierarchy, params)
+        batchable = (
+            len(hierarchy.levels) == 2
+            and supports_batched_schur(hierarchy.levels[0].op)
+        )
+        with self._cond:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            self._ops[name] = _OperatorEntry(op, params, solver, batchable)
+
+    def operators(self) -> list[str]:
+        with self._cond:
+            return sorted(self._ops)
+
+    # -- submission -----------------------------------------------------
+    def submit(
+        self,
+        op_name: str,
+        rhs: np.ndarray,
+        tol: float | None = None,
+        timeout_s: float | None = None,
+    ) -> Future:
+        """Enqueue one right-hand side; returns a future of SolveResult.
+
+        Raises :class:`ServiceOverloadedError` when the queue is full
+        and :class:`ServiceClosedError` after shutdown.  ``timeout_s``
+        bounds the time the request may wait before its batch starts;
+        expired requests fail with :class:`SolveTimeoutError`.
+        """
+        registry = get_registry()
+        with self._cond:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            entry = self._ops.get(op_name)
+            if entry is None:
+                raise KeyError(
+                    f"unknown operator {op_name!r}; registered: {sorted(self._ops)}"
+                )
+            if len(self._pending) >= self.config.queue_capacity:
+                self.stats["rejected"] += 1
+                if registry.enabled:
+                    registry.counter("serve.rejected", op=op_name).inc()
+                raise ServiceOverloadedError(
+                    f"queue full ({self.config.queue_capacity} pending)"
+                )
+            req = _Request(
+                op_name=op_name,
+                rhs=np.asarray(rhs),
+                tol=tol if tol is not None else entry.params.outer_tol,
+                timeout_s=timeout_s,
+                id=next(self._ids),
+            )
+            self._pending.append(req)
+            self.stats["submitted"] += 1
+            self._cond.notify_all()
+        if registry.enabled:
+            registry.counter("serve.requests", op=op_name).inc()
+            registry.gauge("serve.queue_depth").set(len(self._pending))
+        return req.future
+
+    def solve(
+        self,
+        op_name: str,
+        rhs: np.ndarray,
+        tol: float | None = None,
+        timeout_s: float | None = None,
+    ) -> SolveResult:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(op_name, rhs, tol=tol, timeout_s=timeout_s).result()
+
+    def solve_many(
+        self,
+        op_name: str,
+        rhs_list,
+        tol: float | None = None,
+    ) -> list[SolveResult]:
+        """Submit a burst and gather the results in order."""
+        futures = [self.submit(op_name, b, tol=tol) for b in rhs_list]
+        return [f.result() for f in futures]
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self, drain: bool = True) -> None:
+        """Stop the service.
+
+        ``drain=True`` (default) completes all pending work first;
+        ``drain=False`` fails pending requests with
+        :class:`ServiceClosedError`.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            if not drain:
+                while self._pending:
+                    req = self._pending.popleft()
+                    req.future.set_exception(
+                        ServiceClosedError("service closed before dispatch")
+                    )
+            self._cond.notify_all()
+        self._dispatcher.join()
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "SolveService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- dispatcher -----------------------------------------------------
+    def _take_batch(self) -> list[_Request] | None:
+        """Block until a coalesced batch is ready (None = shut down)."""
+        cfg = self.config
+        with self._cond:
+            while not self._pending:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            head = self._pending.popleft()
+            batch = [head]
+            key = (head.op_name, head.tol)
+            deadline = time.perf_counter() + cfg.max_wait_s
+            while len(batch) < cfg.max_batch:
+                self._extract_matching(batch, key, cfg.max_batch)
+                if len(batch) >= cfg.max_batch:
+                    break
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0 or self._closed:
+                    break
+                self._cond.wait(remaining)
+            return batch
+
+    def _extract_matching(self, batch, key, max_batch) -> None:
+        """Move pending requests with the same (op, tol) into ``batch``."""
+        kept: deque[_Request] = deque()
+        while self._pending and len(batch) < max_batch:
+            req = self._pending.popleft()
+            if (req.op_name, req.tol) == key:
+                batch.append(req)
+            else:
+                kept.append(req)
+        kept.extend(self._pending)
+        self._pending.clear()
+        self._pending.extend(kept)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            self._slots.acquire()
+            batch = self._take_batch()
+            if batch is None:
+                self._slots.release()
+                return
+            self._pool.submit(self._run_batch, batch)
+
+    # -- execution ------------------------------------------------------
+    def _run_batch(self, batch: list[_Request]) -> None:
+        try:
+            self._run_batch_inner(batch)
+        finally:
+            self._slots.release()
+
+    def _run_batch_inner(self, batch: list[_Request]) -> None:
+        registry = get_registry()
+        now = time.perf_counter()
+        live: list[_Request] = []
+        for req in batch:
+            if req.expired(now):
+                self.stats["timeouts"] += 1
+                if registry.enabled:
+                    registry.counter("serve.timeouts", op=req.op_name).inc()
+                req.future.set_exception(
+                    SolveTimeoutError(
+                        f"request {req.id} waited "
+                        f"{now - req.enqueued_at:.3f}s > {req.timeout_s}s"
+                    )
+                )
+            elif req.future.set_running_or_notify_cancel():
+                live.append(req)
+        if not live:
+            return
+        head = live[0]
+        entry = self._ops[head.op_name]
+        if registry.enabled:
+            registry.histogram("serve.batch_size", op=head.op_name).observe(
+                len(live)
+            )
+            for req in live:
+                registry.histogram("serve.queue_wait_s").observe(
+                    now - req.enqueued_at
+                )
+        self.stats["batches"] += 1
+        self.stats["batched_systems"] += len(live)
+        batched = (
+            self.config.allow_batching and entry.batchable and len(live) > 1
+        )
+        try:
+            with get_tracer().span(
+                "serve.batch",
+                op=head.op_name,
+                size=len(live),
+                mode="batched" if batched else "sequential",
+            ):
+                t0 = time.perf_counter()
+                if batched:
+                    results = batched_mg_solve(
+                        entry.solver.hierarchy,
+                        np.stack([req.rhs for req in live]),
+                        tol=head.tol,
+                        maxiter=entry.params.outer_maxiter,
+                        nkrylov=entry.params.outer_nkrylov,
+                    )
+                else:
+                    results = [
+                        entry.solver.solve(req.rhs, tol=req.tol) for req in live
+                    ]
+                dt = time.perf_counter() - t0
+        except Exception as exc:  # propagate solver failures to every waiter
+            self.stats["failed"] += len(live)
+            for req in live:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+            return
+        if registry.enabled:
+            registry.histogram("serve.solve_s", op=head.op_name).observe(dt)
+        for req, res in zip(live, results):
+            self.stats["completed"] += 1
+            req.future.set_result(res)
+        if registry.enabled:
+            registry.counter("serve.completed", op=head.op_name).inc(len(live))

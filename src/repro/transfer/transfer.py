@@ -104,6 +104,44 @@ class Transfer:
             )
         return out
 
+    # -- batched (multi-RHS) variants ------------------------------------
+    def restrict_multi(self, fines: np.ndarray) -> np.ndarray:
+        """Batched ``R``: ``(K, V_f, ns, nc)`` -> ``(K, V_c, 2, Nc_hat)``.
+
+        The aggregate bases are read once for all ``K`` systems by
+        folding the batch into the GEMM right-hand side (Section 9).
+        """
+        k = fines.shape[0]
+        vc = self.coarse_lattice.volume
+        out = np.empty((k, vc, 2, self.coarse_nc), dtype=np.complex128)
+        agg = self.blocking.agg_sites
+        for chi, sl in enumerate(chirality_slices_for(self.fine_ns)):
+            # (Vc, rows, K): aggregate rows per coarse site, batch last
+            x = (
+                fines[:, agg][:, :, :, sl, :]
+                .reshape(k, vc, self._rows)
+                .transpose(1, 2, 0)
+            )
+            y = np.matmul(np.conj(np.swapaxes(self._basis[:, chi], -1, -2)), x)
+            out[:, :, chi, :] = y.transpose(2, 0, 1)
+        return out
+
+    def prolong_multi(self, coarses: np.ndarray) -> np.ndarray:
+        """Batched ``P``: ``(K, V_c, 2, Nc_hat)`` -> ``(K, V_f, ns, nc)``."""
+        k = coarses.shape[0]
+        vf = self.fine_lattice.volume
+        vc = self.coarse_lattice.volume
+        out = np.zeros((k, vf, self.fine_ns, self.fine_nc), dtype=np.complex128)
+        agg = self.blocking.agg_sites
+        bv = self.blocking.block_volume
+        nsb = self.fine_ns // 2
+        for chi, sl in enumerate(chirality_slices_for(self.fine_ns)):
+            x = np.matmul(self._basis[:, chi], coarses[:, :, chi, :].transpose(1, 2, 0))
+            out[:, agg.ravel(), sl, :] = (
+                x.transpose(2, 0, 1).reshape(k, vc * bv, nsb, self.fine_nc)
+            )
+        return out
+
     # -- SpinorField conveniences ----------------------------------------
     def restrict_field(self, v: SpinorField) -> SpinorField:
         return SpinorField(self.coarse_lattice, self.restrict(v.data))

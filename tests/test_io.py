@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.fields import SpinorField
-from repro.gauge import load_gauge, load_spinor, save_gauge, save_spinor
+from repro.gauge import (
+    disordered_field,
+    gauge_fingerprint,
+    load_gauge,
+    load_spinor,
+    save_gauge,
+    save_spinor,
+)
 
 
 class TestGaugeIO:
@@ -27,6 +34,33 @@ class TestGaugeIO:
     def test_bad_level_rejected(self, tmp_path, gauge44):
         with pytest.raises(ValueError):
             save_gauge(tmp_path / "x.npz", gauge44, reconstruct=10)
+
+
+class TestGaugeFingerprint:
+    def test_stable_across_save_load(self, tmp_path, gauge44):
+        """Lossless storage round-trips to the identical fingerprint."""
+        fp = gauge_fingerprint(gauge44)
+        path = tmp_path / "cfg.npz"
+        save_gauge(path, gauge44, reconstruct=18)
+        assert gauge_fingerprint(load_gauge(path)) == fp
+
+    def test_deterministic_across_objects(self, lat44):
+        """Regenerating the same ensemble gives the same hash."""
+        u1 = disordered_field(lat44, np.random.default_rng(7), 0.4)
+        u2 = disordered_field(lat44, np.random.default_rng(7), 0.4)
+        assert u1 is not u2
+        assert gauge_fingerprint(u1) == gauge_fingerprint(u2)
+
+    def test_sensitive_to_content_and_geometry(self, lat44, gauge44):
+        other = disordered_field(lat44, np.random.default_rng(8), 0.4)
+        assert gauge_fingerprint(other) != gauge_fingerprint(gauge44)
+        perturbed = gauge44.data.copy()
+        perturbed[0, 0, 0, 0] += 1e-15
+        from repro.fields import GaugeField
+
+        assert gauge_fingerprint(
+            GaugeField(gauge44.lattice, perturbed)
+        ) != gauge_fingerprint(gauge44)
 
 
 class TestSpinorIO:
