@@ -11,6 +11,17 @@ Usage::
     python -m repro.cli all    [--mode replay]
     python -m repro.cli trace  [dataset] [--telemetry out.json]
     python -m repro.cli serve-bench [dataset] [--batch-sizes 1,4,8,16] [--requests N]
+    python -m repro.cli check  [dataset] [--json out.json] [--strategy 24/24]
+                               [--invariants a,b,...] [--max-needs TIER]
+
+``check`` runs the numerical-invariant registry (:mod:`repro.verify`)
+against a scaled dataset: gauge-field sanity, gamma5-hermiticity,
+prolongator orthonormality, Galerkin consistency, Schur equivalence,
+halo-exchange agreement, precision bounds and solve truthfulness.  It
+prints the verdict table, writes a JSON report, and exits nonzero iff
+any *critical* invariant fails.  ``--invariants`` selects a subset by
+name; ``--max-needs gauge|operator|hierarchy|solve`` caps the expense
+tier (e.g. ``operator`` skips hierarchy builds and solves).
 
 ``serve-bench`` runs the solve-service throughput benchmark: a burst of
 single-RHS requests is pushed through the dynamic batcher at several
@@ -36,7 +47,7 @@ from . import telemetry
 
 ARTIFACTS = [
     "table1", "table2", "table3", "fig2", "fig3", "fig4", "all", "trace",
-    "serve-bench",
+    "serve-bench", "check",
 ]
 
 
@@ -132,7 +143,36 @@ def main(argv: list[str] | None = None) -> int:
         default=16,
         help="requests per serve-bench configuration",
     )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="where 'check' writes its JSON report "
+        "(default verify-<dataset>.json)",
+    )
+    parser.add_argument(
+        "--strategy",
+        default="24/24",
+        help="null-space strategy label for 'check' (default 24/24)",
+    )
+    parser.add_argument(
+        "--invariants",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated subset of invariants for 'check' (default: all)",
+    )
+    parser.add_argument(
+        "--max-needs",
+        choices=["gauge", "operator", "hierarchy", "solve"],
+        default="solve",
+        help="most expensive context tier 'check' may use (default solve)",
+    )
     args = parser.parse_args(argv)
+
+    if args.artifact == "check":
+        from .verify.runner import main_check
+
+        return main_check(args)
 
     if args.artifact == "serve-bench":
         import json

@@ -67,3 +67,23 @@ def coarsen_operator(op: StencilOperator, transfer: Transfer) -> CoarseOperator:
                     x_blocks[:, :, j] += transfer.restrict(internal).reshape(vc, n)
 
     return CoarseOperator(coarse, x_blocks, hop_blocks, ns_c, nc_c)
+
+
+def galerkin_violation(
+    fine_op, transfer: Transfer, coarse_op, probes: list[np.ndarray]
+) -> float:
+    """Max relative deviation of ``coarse_op`` from ``R M P`` over probes.
+
+    The Galerkin condition ``M_hat = P^dag M P`` is exact algebra, so the
+    stencil built by :func:`coarsen_operator` must agree with the
+    explicit restrict-apply-prolong composition to roundoff on any
+    coarse vector.  Probe-based so it scales to every level of a real
+    hierarchy (the dense ``R M P`` comparison lives in the test suite).
+    """
+    worst = 0.0
+    for vc in probes:
+        ref = transfer.restrict(fine_op.apply(transfer.prolong(vc)))
+        got = coarse_op.apply(vc)
+        scale = max(np.linalg.norm(ref.ravel()), np.finfo(np.float64).tiny)
+        worst = max(worst, float(np.linalg.norm((got - ref).ravel()) / scale))
+    return worst

@@ -58,6 +58,20 @@ class PartitionedOperator:
     matvec = apply
 
     # ------------------------------------------------------------------
+    def consistency_violation(self, v: np.ndarray) -> float:
+        """Relative deviation of the halo-exchanged apply from ``op.apply``.
+
+        The decomposition is a pure data-movement rewrite, so the two
+        paths must agree to roundoff (the test suite asserts bit-level
+        equality); this is the probe form the verification registry
+        samples.
+        """
+        ref = self.op.apply(v)
+        got = self.apply(v)
+        scale = max(np.linalg.norm(ref.ravel()), np.finfo(np.float64).tiny)
+        return float(np.linalg.norm((got - ref).ravel()) / scale)
+
+    # ------------------------------------------------------------------
     def exchange_bytes_per_apply(self, itemsize: int = 16) -> int:
         """Analytic bytes sent per full application (both orientations)."""
         total = 0

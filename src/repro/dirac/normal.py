@@ -54,3 +54,18 @@ class NormalOperator:
         return self.adjoint.apply(self.op.apply(v))
 
     matvec = apply
+
+
+def gamma5_hermiticity_violation(op, v: np.ndarray, w: np.ndarray) -> float:
+    """Relative violation of ``<w, g5 M v> = conj(<v, g5 M w>)``.
+
+    Exact gamma5-hermiticity — ``(g5 M)^dag = g5 M``, the property the
+    CGNE/CGNR adjoints and the chirality-preserving aggregation rest on
+    — makes this ~machine epsilon for any probe pair ``(v, w)``.
+    """
+    g5mv = op.apply_gamma5(op.apply(v))
+    g5mw = op.apply_gamma5(op.apply(w))
+    a = np.vdot(w.ravel(), g5mv.ravel())
+    b = np.conj(np.vdot(v.ravel(), g5mw.ravel()))
+    scale = np.linalg.norm(w.ravel()) * np.linalg.norm(g5mv.ravel())
+    return float(abs(a - b) / max(scale, np.finfo(np.float64).tiny))

@@ -197,7 +197,16 @@ class MultigridHierarchy:
                 f"[mg setup] coarsest level {len(levels) - 1}: {lat!r} "
                 f"ns={current.ns} nc={current.nc}"
             )
-        return cls(levels, params)
+        hierarchy = cls(levels, params)
+        if params.verify_level != "off":
+            # opt-in sampled invariant checking of the setup output
+            # (prolongator orthonormality, Galerkin consistency,
+            # gamma5-hermiticity); emits verify.* telemetry and warns on
+            # violation without altering the build.
+            from ..verify.runtime import verify_setup
+
+            verify_setup(hierarchy, origin="mg.setup")
+        return hierarchy
 
     @property
     def n_levels(self) -> int:

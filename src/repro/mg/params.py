@@ -44,9 +44,20 @@ class MGParams:
     coarse_precision: Precision = Precision.DOUBLE
     smoother_schur: bool = True  # red-black preconditioned smoother
     coarsest_schur: bool = True  # red-black preconditioned coarsest solve
+    # Opt-in runtime verification (repro.verify): "off" (default),
+    # "setup" samples the setup-output invariants after every hierarchy
+    # build, "solve" additionally recomputes every solve's residual.
+    # Purely observational — never changes the numerics — and therefore
+    # excluded from the configuration fingerprint.
+    verify_level: str = "off"
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self):
+        if self.verify_level not in ("off", "setup", "solve"):
+            raise ValueError(
+                f"verify_level must be 'off', 'setup' or 'solve', "
+                f"got {self.verify_level!r}"
+            )
         if self.cycle_type not in ("K", "V", "W"):
             raise ValueError(f"cycle_type must be 'K', 'V' or 'W', got {self.cycle_type!r}")
         if self.smoother_type not in ("schur-mr", "chebyshev", "schwarz"):
@@ -71,7 +82,9 @@ class MGParams:
         Tuples become lists, enums their string values, and ``extra`` is
         key-sorted, so two :class:`MGParams` describing the same
         configuration canonicalize identically regardless of how they
-        were constructed.
+        were constructed.  ``verify_level`` is excluded: verification is
+        observational, so a verified and an unverified run of the same
+        configuration share setup-cache entries.
         """
 
         def _clean(obj):
@@ -83,7 +96,9 @@ class MGParams:
                 return [_clean(x) for x in obj]
             return obj
 
-        return _clean(asdict(self))
+        out = _clean(asdict(self))
+        out.pop("verify_level", None)
+        return out
 
     def fingerprint(self) -> str:
         """Deterministic content hash of the full configuration.

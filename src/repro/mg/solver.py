@@ -93,6 +93,11 @@ class MultigridSolver:
             result.iterations, self.params.outer_nkrylov
         )
         self._publish_telemetry(result, sp)
+        if self.params.verify_level == "solve":
+            from ..verify.runtime import verify_solve
+
+            reports = verify_solve(fine.op, data, result, origin="mg.solve")
+            result.telemetry.attrs["verify"] = [r.to_dict() for r in reports]
         return result
 
     def _publish_telemetry(self, result: SolveResult, sp) -> None:

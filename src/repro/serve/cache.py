@@ -27,6 +27,8 @@ import hashlib
 import json
 import os
 import threading
+import zipfile
+import zlib
 from collections import OrderedDict
 
 import numpy as np
@@ -226,7 +228,10 @@ class SetupCache:
                 nulls = [
                     list(data[f"level{i}"]) for i in range(len(params.levels))
                 ]
-        except (OSError, ValueError, KeyError):
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile, zlib.error):
+            # A truncated npz raises zipfile.BadZipFile and a corrupted
+            # member zlib.error/EOFError — none of which are OSError; a
+            # damaged cache file must mean "rebuild", never a crash.
             self._book("invalid")
             return None
         with get_tracer().span("serve.setup_cache.restore"):

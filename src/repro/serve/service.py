@@ -65,8 +65,15 @@ class ServeConfig:
     queue_capacity: int = 64  # pending-request bound (backpressure)
     n_workers: int = 1  # solver worker threads
     allow_batching: bool = True  # False forces the sequential path
+    # Opt-in runtime verification (repro.verify): "setup" checks the
+    # setup-output invariants of every registered hierarchy, "solve"
+    # additionally recomputes each delivered result's residual.
+    verify_level: str = "off"
 
     def __post_init__(self):
+        from ..verify.runtime import validate_level
+
+        validate_level(self.verify_level)
         if self.max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.queue_capacity < 1:
@@ -134,6 +141,8 @@ class SolveService:
             "failed": 0,
             "batches": 0,
             "batched_systems": 0,
+            "verify_checks": 0,
+            "verify_failures": 0,
         }
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.n_workers, thread_name_prefix="serve-worker"
@@ -158,6 +167,11 @@ class SolveService:
     ) -> None:
         """Make ``op`` solvable under ``name``; setup comes via the cache."""
         hierarchy = self.cache.get_or_build(op, params, rng)
+        if self.config.verify_level != "off":
+            from ..verify.runtime import verify_setup
+
+            reports = verify_setup(hierarchy, origin="serve.register")
+            self._book_verify(reports)
         solver = MultigridSolver.from_hierarchy(hierarchy, params)
         batchable = (
             len(hierarchy.levels) == 2
@@ -171,6 +185,14 @@ class SolveService:
     def operators(self) -> list[str]:
         with self._cond:
             return sorted(self._ops)
+
+    def _book_verify(self, reports) -> None:
+        """Fold runtime-verification reports into the service stats."""
+        with self._cond:
+            self.stats["verify_checks"] += len(reports)
+            self.stats["verify_failures"] += sum(
+                1 for r in reports if not r.passed
+            )
 
     # -- submission -----------------------------------------------------
     def submit(
@@ -381,6 +403,16 @@ class SolveService:
             return
         if registry.enabled:
             registry.histogram("serve.solve_s", op=head.op_name).observe(dt)
+        if self.config.verify_level == "solve":
+            from ..verify.runtime import verify_solve
+
+            fine_op = entry.solver.hierarchy.levels[0].op
+            for req, res in zip(live, results):
+                reports = verify_solve(
+                    fine_op, req.rhs, res, origin="serve.solve"
+                )
+                res.telemetry.attrs["verify"] = [r.to_dict() for r in reports]
+                self._book_verify(reports)
         for req, res in zip(live, results):
             self.stats["completed"] += 1
             req.future.set_result(res)

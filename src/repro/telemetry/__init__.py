@@ -40,7 +40,7 @@ from .export import (
     validate_trace,
     write_trace,
 )
-from .instrument import instrumented_solver, record_solve
+from .instrument import instrumented_solver, record_invariant, record_solve
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
 from .result import SolveTelemetry
 from .tracer import Span, Tracer, get_tracer, span
@@ -64,6 +64,7 @@ __all__ = [
     "instrumented_solver",
     "level_breakdown_table",
     "load_trace",
+    "record_invariant",
     "record_solve",
     "reset",
     "span",

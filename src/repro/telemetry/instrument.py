@@ -33,6 +33,24 @@ def record_solve(name: str, result) -> None:
     )
 
 
+def record_invariant(report, origin: str = "registry") -> None:
+    """Book one invariant verdict into the global registry.
+
+    ``report`` is a :class:`~repro.verify.report.InvariantReport`; every
+    evaluation books ``verify.checks`` and failures additionally book
+    ``verify.failures``, labelled by ``invariant`` name and ``origin`` (the
+    consumption layer: ``registry``, ``mg.setup``, ``mg.solve``,
+    ``serve.register``, ``serve.solve``).
+    """
+    reg = get_registry()
+    if not reg.enabled:
+        return
+    reg.counter("verify.checks", invariant=report.name, origin=origin).inc()
+    if not report.passed:
+        reg.counter("verify.failures", invariant=report.name, origin=origin).inc()
+    reg.histogram("verify.residual", invariant=report.name).observe(report.residual)
+
+
 def instrumented_solver(name: str):
     """Decorate a ``solver(op, b, ...) -> SolveResult`` entry point."""
 

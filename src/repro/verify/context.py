@@ -1,0 +1,125 @@
+"""The subject an invariant run inspects.
+
+A :class:`VerifyContext` bundles the fine operator, the MG parameters,
+and (built lazily, exactly once) the multigrid hierarchy, plus a
+deterministic probe-vector source.  Checks declare the cheapest tier
+they need (``gauge`` / ``operator`` / ``hierarchy`` / ``solve``) so a
+caller can run e.g. only the gauge-level sanity checks without paying
+for a setup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mg.params import MGParams
+
+
+class VerifyContext:
+    """Everything the registered checks may probe.
+
+    Parameters
+    ----------
+    op:
+        The fine stencil operator (``None`` restricts the run to checks
+        that need nothing beyond what is supplied).
+    params:
+        MG configuration used when a check asks for the hierarchy.
+    hierarchy:
+        A pre-built hierarchy to verify; built on first use otherwise.
+    seed:
+        Seeds both the probe-vector stream and, when the context has to
+        build the hierarchy itself, the adaptive setup.
+    n_probes:
+        Random probe vectors per stochastic identity check.
+    """
+
+    def __init__(
+        self,
+        op=None,
+        params: MGParams | None = None,
+        hierarchy=None,
+        subject: str = "custom",
+        seed: int = 20161113,
+        n_probes: int = 2,
+        solve_tol: float | None = None,
+    ):
+        self.op = op if op is not None else (
+            hierarchy.levels[0].op if hierarchy is not None else None
+        )
+        self.params = params if params is not None else (
+            hierarchy.params if hierarchy is not None else None
+        )
+        self._hierarchy = hierarchy
+        self.subject = subject
+        self.seed = seed
+        self.n_probes = int(n_probes)
+        self.solve_tol = solve_tol
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(
+        cls,
+        label: str,
+        strategy: str = "24/24",
+        seed: int = 20161113,
+        n_probes: int = 2,
+    ) -> "VerifyContext":
+        """Context for a preset dataset (paper label or scaled label)."""
+        from ..dirac import WilsonCloverOperator
+        from ..workloads import SCALED_DATASETS, SCALED_FOR_PAPER, mg_params_for
+
+        ds = SCALED_FOR_PAPER.get(label) or SCALED_DATASETS.get(label)
+        if ds is None:
+            known = sorted(SCALED_FOR_PAPER) + sorted(SCALED_DATASETS)
+            raise KeyError(f"unknown dataset {label!r}; choose from {known}")
+        op = WilsonCloverOperator(ds.gauge(), **ds.operator_kwargs())
+        params = mg_params_for(ds, strategy)
+        return cls(
+            op=op,
+            params=params,
+            subject=ds.label,
+            seed=seed,
+            n_probes=n_probes,
+            solve_tol=ds.target_residuum,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def gauge(self):
+        if self.op is None or not hasattr(self.op, "gauge"):
+            raise RuntimeError(f"context {self.subject!r} carries no gauge field")
+        return self.op.gauge
+
+    @property
+    def hierarchy(self):
+        """The MG level stack, built on first access."""
+        if self._hierarchy is None:
+            if self.op is None or self.params is None:
+                raise RuntimeError(
+                    f"context {self.subject!r} has no operator/params to build from"
+                )
+            from ..mg.hierarchy import MultigridHierarchy
+
+            self._hierarchy = MultigridHierarchy.build(
+                self.op, self.params, np.random.default_rng(self.seed)
+            )
+        return self._hierarchy
+
+    def probe_rng(self, salt: int = 0) -> np.random.Generator:
+        """A fresh, deterministic generator for probe vectors."""
+        return np.random.default_rng((self.seed, salt))
+
+    def probe(self, op, rng: np.random.Generator) -> np.ndarray:
+        """One Gaussian probe field shaped for ``op``."""
+        shape = (op.lattice.volume, op.ns, op.nc)
+        return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+    def meta(self) -> dict:
+        out = {"subject": self.subject, "seed": self.seed, "n_probes": self.n_probes}
+        if self.params is not None:
+            out["subspace"] = self.params.subspace_label()
+            out["n_levels"] = self.params.n_levels
+        if self.op is not None:
+            out["lattice"] = "x".join(str(d) for d in self.op.lattice.dims)
+        return out

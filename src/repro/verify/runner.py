@@ -1,0 +1,55 @@
+"""`repro check`: run the invariant registry against a preset dataset.
+
+Builds the real MG hierarchy of the requested dataset, evaluates every
+registered invariant (gauge sanity through full-solve truthfulness),
+prints the verdict table and writes the JSON report (schema
+``repro.verify/v1``).  The exit code is nonzero iff any *critical*
+invariant fails — warnings (plaquette drift, precision-bound slack)
+are reported but do not fail the check.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from .context import VerifyContext
+from .registry import run_registry
+from .report import VerificationReport
+
+
+def run_check(
+    dataset: str,
+    strategy: str = "24/24",
+    names: list[str] | None = None,
+    max_needs: str = "solve",
+    json_path: str | None = None,
+    verbose: bool = True,
+) -> VerificationReport:
+    """Run the registry for one dataset; returns the full report."""
+    ctx = VerifyContext.from_dataset(dataset, strategy=strategy)
+    report = run_registry(ctx, names_filter=names, max_needs=max_needs)
+    path = pathlib.Path(
+        json_path if json_path is not None else f"verify-{ctx.subject}.json"
+    )
+    report.write(path)
+    if verbose:
+        print(report.render())
+        print(f"\nverification report written to {path}")
+    return report
+
+
+def main_check(args) -> int:
+    """CLI entry point wired up by :mod:`repro.cli`."""
+    names = (
+        [n.strip() for n in args.invariants.split(",") if n.strip()]
+        if args.invariants
+        else None
+    )
+    report = run_check(
+        args.dataset,
+        strategy=args.strategy,
+        names=names,
+        max_needs=args.max_needs,
+        json_path=args.json,
+    )
+    return 0 if report.critical_passed else 1

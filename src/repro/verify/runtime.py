@@ -1,0 +1,102 @@
+"""Opt-in runtime verification.
+
+``MGParams.verify_level`` (and ``ServeConfig.verify_level`` on the
+solve service) switches on sampled invariant checking inside the
+production code paths:
+
+* ``"setup"`` — after every hierarchy build, the setup-output
+  invariants (prolongator orthonormality, Galerkin consistency,
+  fine/coarse gamma5-hermiticity) run against the freshly built level
+  stack;
+* ``"solve"`` — additionally, every solve's reported residual is
+  recomputed from the returned solution and compared.
+
+Runtime checks never change numerical behaviour and never raise: a
+violation emits a ``verify.failures`` telemetry counter, a
+``verify.invariant`` span (when tracing is on) and a Python warning, so
+an instrumented production run surfaces broken algebra without killing
+in-flight work.  The full registry with hard verdicts is the ``repro
+check`` CLI / pytest bridge (:mod:`repro.verify.runner`).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from ..telemetry.instrument import record_invariant
+from ..telemetry.tracer import get_tracer
+from .report import InvariantReport
+
+#: Recognized ``verify_level`` settings, in increasing coverage order.
+LEVELS = ("off", "setup", "solve")
+
+_SETUP_PROBES = 1
+
+
+def validate_level(level: str) -> str:
+    if level not in LEVELS:
+        raise ValueError(f"verify_level must be one of {LEVELS}, got {level!r}")
+    return level
+
+
+def _emit(reports: list[InvariantReport], origin: str) -> list[InvariantReport]:
+    for rep in reports:
+        record_invariant(rep, origin=origin)
+        if not rep.passed:
+            warnings.warn(
+                f"invariant violation [{origin}] {rep.name}: "
+                f"residual {rep.residual:.3e} > tol {rep.tolerance:.3e}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+    return reports
+
+
+def verify_setup(hierarchy, origin: str = "mg.setup", seed: int = 0) -> list[InvariantReport]:
+    """Sample the setup-output invariants of a freshly built hierarchy."""
+    from .context import VerifyContext
+    from .registry import get, run_invariant
+
+    ctx = VerifyContext(
+        hierarchy=hierarchy,
+        subject=origin,
+        seed=20161113 + seed,
+        n_probes=_SETUP_PROBES,
+    )
+    reports: list[InvariantReport] = []
+    with get_tracer().span("verify.setup", origin=origin):
+        for name in (
+            "transfer.orthonormality",
+            "coarse.galerkin",
+            "coarse.gamma5_hermiticity",
+            "dirac.gamma5_hermiticity",
+        ):
+            reports.extend(run_invariant(get(name), ctx))
+    return _emit(reports, origin)
+
+
+def verify_solve(op, b: np.ndarray, result, origin: str = "mg.solve") -> list[InvariantReport]:
+    """Check a finished solve: is the reported residual truthful?
+
+    Costs one extra operator application; only runs under
+    ``verify_level="solve"``.
+    """
+    with get_tracer().span("verify.solve", origin=origin):
+        r = np.asarray(b) - op.apply(result.x)
+        bnorm = np.linalg.norm(np.asarray(b).ravel())
+        true_res = float(np.linalg.norm(r.ravel()) / max(bnorm, 1e-300))
+        reported = float(result.final_residual)
+        drift = abs(true_res - reported) / max(true_res, reported, 1e-300)
+        reports = [
+            InvariantReport.from_residual(
+                "mg.residual_truthful",
+                drift,
+                0.5,
+                reported=reported,
+                recomputed=true_res,
+                converged=bool(result.converged),
+            )
+        ]
+    return _emit(reports, origin)

@@ -6,6 +6,8 @@ session-scoped: tests treat them as immutable.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -81,3 +83,49 @@ def random_spinor(lattice, ns=4, nc=3, seed=0):
 @pytest.fixture(scope="session")
 def spinor44(lat44):
     return random_spinor(lat44, seed=1)
+
+
+# -- hypothesis profiles -----------------------------------------------
+# "ci" trims example counts so the full suite stays fast in CI; select
+# with HYPOTHESIS_PROFILE=ci (the workflow sets it).
+try:
+    from hypothesis import HealthCheck
+    from hypothesis import settings as _hyp_settings
+
+    _COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    _hyp_settings.register_profile("default", **_COMMON)
+    _hyp_settings.register_profile("ci", max_examples=10, **_COMMON)
+    _hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+except ImportError:  # hypothesis-less environments still run the suite
+    pass
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current numerics "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def aniso40_solve():
+    """The canonical Aniso40-scaled multigrid solve.
+
+    One deterministic (gauge, hierarchy, rhs) triple shared by the
+    golden-regression and verify-registry tests so the expensive setup
+    runs once per session.
+    """
+    from repro.fields import SpinorField
+    from repro.mg import MultigridSolver
+    from repro.workloads import SCALED_FOR_PAPER, mg_params_for
+
+    ds = SCALED_FOR_PAPER["Aniso40"]
+    op = WilsonCloverOperator(ds.gauge(), **ds.operator_kwargs())
+    params = mg_params_for(ds, "24/24")
+    solver = MultigridSolver(op, params, np.random.default_rng(1))
+    b = SpinorField.random(ds.lattice(), rng=np.random.default_rng(0))
+    result = solver.solve(b.data, tol=5e-6)
+    return ds, solver, result

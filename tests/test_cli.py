@@ -75,3 +75,36 @@ class TestCli:
         out = tmp_path / "run.json"
         assert main(["fig4", "--mode", "measured", "--telemetry", str(out)]) == 0
         assert load_trace(out)["meta"]["artifact"] == "fig4"
+
+    def test_check_gauge_subset(self, tmp_path, capsys):
+        """`repro check` with a cheap invariant subset writes the report."""
+        import json
+
+        out = tmp_path / "verify.json"
+        code = main([
+            "check", "Aniso40",
+            "--invariants", "gauge.unitarity,gauge.plaquette",
+            "--json", str(out),
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro.verify/v1"
+        assert doc["critical_passed"] is True
+        assert {r["name"] for r in doc["reports"]} == {
+            "gauge.unitarity", "gauge.plaquette",
+        }
+        assert "all invariants PASS" in capsys.readouterr().out
+
+    def test_check_max_needs_gauge(self, tmp_path, capsys):
+        """--max-needs gauge runs without building any hierarchy."""
+        import json
+
+        out = tmp_path / "verify.json"
+        assert main(["check", "Aniso40", "--max-needs", "gauge",
+                     "--json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert all(r["name"].startswith("gauge.") for r in doc["reports"])
+
+    def test_check_rejects_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            main(["check", "NoSuchDataset", "--max-needs", "gauge"])

@@ -1,0 +1,153 @@
+"""Disk-persistence failure paths of the setup cache.
+
+A restarted service must treat *any* damaged cache file — truncated,
+garbage, or tampered — as a miss and rebuild, never crash: the cache is
+an optimization, not a dependency.  Truncation is the interesting case:
+``np.load`` raises ``zipfile.BadZipFile`` (not ``OSError``) for it, a
+path that was previously uncaught.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.gauge import gauge_fingerprint
+from repro.mg.params import LevelParams, MGParams
+from repro.serve.cache import SetupCache, setup_cache_key
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture(scope="module")
+def params():
+    return MGParams(
+        levels=[LevelParams(block=(2, 2, 2, 4), n_null=4, null_iters=10)],
+        outer_tol=1e-6,
+    )
+
+
+@pytest.fixture()
+def persisted(tmp_path, wilson448, params):
+    """A cache directory holding one valid persisted setup."""
+    cache = SetupCache(disk_dir=str(tmp_path))
+    cache.get_or_build(wilson448, params, np.random.default_rng(3))
+    key = setup_cache_key(wilson448, params)
+    path = tmp_path / f"mgsetup-{key}.npz"
+    assert path.exists()
+    return tmp_path, path
+
+
+def _rebuilds(tmp_path, wilson448, params):
+    """A fresh cache over the same dir must rebuild (miss), not crash."""
+    cache = SetupCache(disk_dir=str(tmp_path))
+    hierarchy = cache.get_or_build(wilson448, params, np.random.default_rng(3))
+    assert hierarchy is not None
+    assert cache.stats["disk_hits"] == 0
+    assert cache.stats["misses"] == 1
+    return cache
+
+
+def test_valid_file_is_a_disk_hit(persisted, wilson448, params):
+    tmp_path, _path = persisted
+    cache = SetupCache(disk_dir=str(tmp_path))
+    cache.get_or_build(wilson448, params, np.random.default_rng(3))
+    assert cache.stats["disk_hits"] == 1
+    assert cache.stats["misses"] == 0
+
+
+def test_truncated_npz_rebuilds(persisted, wilson448, params):
+    tmp_path, path = persisted
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    cache = _rebuilds(tmp_path, wilson448, params)
+    assert cache.stats["invalid"] == 1
+
+
+def test_garbage_bytes_rebuild(persisted, wilson448, params):
+    tmp_path, path = persisted
+    path.write_bytes(b"\x00\x01this is not a zip archive\xff" * 64)
+    cache = _rebuilds(tmp_path, wilson448, params)
+    assert cache.stats["invalid"] == 1
+
+
+def test_empty_file_rebuilds(persisted, wilson448, params):
+    tmp_path, path = persisted
+    path.write_bytes(b"")
+    cache = _rebuilds(tmp_path, wilson448, params)
+    assert cache.stats["invalid"] == 1
+
+
+def test_tampered_gauge_fingerprint_invalidates(persisted, wilson448, params):
+    tmp_path, path = persisted
+    with np.load(path) as data:
+        payload = dict(data)
+    payload["gauge_fp"] = np.array("0" * 64)
+    np.savez_compressed(path, **payload)
+    cache = _rebuilds(tmp_path, wilson448, params)
+    assert cache.stats["invalid"] == 1
+
+
+def test_missing_member_invalidates(persisted, wilson448, params):
+    # a structurally valid npz missing the null-vector arrays must be
+    # rejected via the KeyError path, not KeyError-crash
+    tmp_path, path = persisted
+    with np.load(path) as data:
+        payload = {
+            k: data[k] for k in ("version", "n_levels", "gauge_fp", "op_fp",
+                                 "params_fp")
+        }
+    np.savez_compressed(path, **payload)
+    cache = _rebuilds(tmp_path, wilson448, params)
+    assert cache.stats["invalid"] == 1
+
+
+def test_rebuild_repairs_the_file(persisted, wilson448, params):
+    tmp_path, path = persisted
+    path.write_bytes(b"garbage")
+    _rebuilds(tmp_path, wilson448, params)
+    # the rebuild re-persisted a valid file: next cold cache disk-hits
+    cache = SetupCache(disk_dir=str(tmp_path))
+    cache.get_or_build(wilson448, params, np.random.default_rng(3))
+    assert cache.stats["disk_hits"] == 1
+
+
+class TestGaugeFingerprint:
+    def test_sensitive_to_single_element(self, gauge448):
+        before = gauge_fingerprint(gauge448)
+        mutated = gauge448.copy()
+        mutated.data[1, 7, 2, 0] += 1e-12
+        assert gauge_fingerprint(mutated) != before
+        # and the original is untouched (copy semantics)
+        assert gauge_fingerprint(gauge448) == before
+
+    def test_stable_across_recomputation(self, gauge448):
+        assert gauge_fingerprint(gauge448) == gauge_fingerprint(gauge448)
+
+    def test_distinct_fields_distinct_fingerprints(self, gauge448, gauge44):
+        assert gauge_fingerprint(gauge448) != gauge_fingerprint(gauge44)
+
+
+def test_key_depends_on_operator_scalars(wilson448, params, gauge448):
+    from repro.dirac import WilsonCloverOperator
+
+    other = WilsonCloverOperator(gauge448, mass=-0.25, c_sw=1.0)
+    assert setup_cache_key(wilson448, params) != setup_cache_key(other, params)
+
+
+def test_key_ignores_verify_level(wilson448, params):
+    verified = MGParams(
+        levels=params.levels, outer_tol=params.outer_tol, verify_level="solve"
+    )
+    assert setup_cache_key(wilson448, params) == setup_cache_key(
+        wilson448, verified
+    )
+
+
+def test_disk_disabled_never_touches_fs(tmp_path, wilson448, params, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    cache = SetupCache()  # no disk_dir
+    cache.get_or_build(wilson448, params, np.random.default_rng(3))
+    assert os.listdir(tmp_path) == []
