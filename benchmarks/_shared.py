@@ -5,6 +5,14 @@ measured solver data; running the real solves once per process keeps
 ``pytest benchmarks/`` inside a sensible wallclock.  Set
 ``REPRO_BENCH_RHS`` to raise the number of right-hand sides per solver
 (default 1; the paper uses 12).
+
+Persistence: every benchmark module records its headline measurements
+through :func:`record_row`; when ``REPRO_BENCH_OUT`` names a directory,
+``benchmarks/conftest.py`` flushes one ``repro.bench/v1`` envelope per
+module there at session end (plus the raw pytest-benchmark timings it
+collects automatically), so *all* benchmarks persist uniformly — the
+ledger (``repro bench run``, :mod:`repro.perf.ledger`) and ``repro
+perf diff`` consume the same envelope.
 """
 
 from __future__ import annotations
@@ -12,39 +20,20 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-import platform
 from functools import lru_cache
 
-from repro.reporting.experiments import measure_dataset, price_dataset
 from repro.machine import MachineModel
+from repro.perf.ledger import BENCH_SCHEMA, bench_document  # noqa: F401 (re-export)
+from repro.reporting.experiments import measure_dataset, price_dataset
 from repro.workloads import PAPER_DATASETS, SCALED_FOR_PAPER
 
 N_RHS = int(os.environ.get("REPRO_BENCH_RHS", "1"))
 
-# Shared result-document schema for benchmarks that persist measurements
-# (set REPRO_BENCH_OUT to a directory to collect them).
-BENCH_SCHEMA = "repro.bench/v1"
+# Destination directory for collected measurement envelopes (optional).
 BENCH_OUT = os.environ.get("REPRO_BENCH_OUT")
 
-
-def bench_document(name: str, rows: list[dict], meta: dict | None = None) -> dict:
-    """Wrap benchmark rows in the shared ``repro.bench/v1`` envelope.
-
-    ``rows`` is a list of flat JSON-safe dicts (one measurement each);
-    ``meta`` carries free-form context (dataset, parameters).  The
-    envelope adds the schema tag and the host it was measured on so
-    collected documents are self-describing.
-    """
-    return {
-        "schema": BENCH_SCHEMA,
-        "name": name,
-        "host": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
-        "meta": meta or {},
-        "rows": rows,
-    }
+# rows accumulated by record_row(), keyed by envelope (module) name
+_COLLECTED: dict[str, list[dict]] = {}
 
 
 def write_bench_document(
@@ -60,6 +49,37 @@ def write_bench_document(
             json.dumps(doc, indent=1, sort_keys=True) + "\n"
         )
     return doc
+
+
+def record_row(envelope: str, **fields) -> dict:
+    """Queue one flat measurement row for the ``<envelope>.json`` document.
+
+    Benchmark tests call this with their headline numbers (iteration
+    counts, model seconds, throughput); the session-finish hook in
+    ``benchmarks/conftest.py`` wraps each envelope's rows via
+    :func:`repro.perf.bench_document` and writes them to
+    ``REPRO_BENCH_OUT``.  A no-op sink when the variable is unset, so
+    interactive runs pay nothing.
+    """
+    row = dict(fields)
+    _COLLECTED.setdefault(envelope, []).append(row)
+    return row
+
+
+def flush_bench_documents(extra: dict[str, list[dict]] | None = None) -> list:
+    """Write every queued envelope to ``REPRO_BENCH_OUT``; returns paths."""
+    merged: dict[str, list[dict]] = {}
+    for source in (_COLLECTED, extra or {}):
+        for name, rows in source.items():
+            merged.setdefault(name, []).extend(rows)
+    if not BENCH_OUT:
+        return []
+    paths = []
+    for name, rows in sorted(merged.items()):
+        if rows:
+            write_bench_document(name, rows, meta={"n_rhs": N_RHS})
+            paths.append(pathlib.Path(BENCH_OUT) / f"{name}.json")
+    return paths
 
 
 @lru_cache(maxsize=None)

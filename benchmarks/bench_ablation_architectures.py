@@ -10,6 +10,8 @@ import pytest
 
 from repro.gpu import Autotuner, CoarseDslashKernel, DEVICES, K20X, M40, P100, Strategy
 
+from _shared import record_row
+
 
 @pytest.mark.parametrize("device", [K20X, M40, P100], ids=lambda d: d.name)
 def test_bench_fig2_per_architecture(benchmark, device, capsys):
@@ -29,6 +31,12 @@ def test_bench_fig2_per_architecture(benchmark, device, capsys):
         for length, row in table.items():
             cells = " ".join(f"{v:8.1f}" for v in row.values())
             print(f"  L={length:2d}: {cells}")
+            record_row(
+                "ablation_architectures",
+                benchmark=f"fig2.{device.name}.L{length}",
+                metric="gflops",
+                **{k.replace(" ", "_"): v for k, v in row.items()},
+            )
     # invariants per architecture
     assert table[10]["dot product"] > table[2]["dot product"]
     assert table[2]["dot product"] > 10 * table[2]["baseline"]

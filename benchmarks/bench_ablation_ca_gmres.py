@@ -19,6 +19,8 @@ from repro.workloads import ISO64
 
 from tests.conftest import random_spinor
 
+from _shared import record_row
+
 
 @pytest.fixture(scope="module")
 def coarse_system():
@@ -59,6 +61,12 @@ def test_bench_ca_gmres_coarse_solve(benchmark, coarse_system, s):
     assert res.converged
     benchmark.extra_info["matvecs"] = res.matvecs
     benchmark.extra_info["reductions"] = res.extra["reductions"]
+    record_row(
+        "ablation_ca_gmres",
+        benchmark=f"ca_gmres.s{s}",
+        matvecs=res.matvecs,
+        reductions=res.extra["reductions"],
+    )
 
 
 def test_sync_reduction_at_scale(benchmark, coarse_system, capsys):

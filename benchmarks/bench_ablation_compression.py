@@ -56,8 +56,16 @@ def test_model_bandwidth_saving(benchmark, capsys):
         return out
 
     gflops = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    from _shared import record_row
+
     with capsys.disabled():
         print("\nAblation: Wilson-Clover GFLOPS vs gauge reconstruction (half prec):")
         for recon, g in gflops.items():
             print(f"  recon-{recon}: {g:7.1f} GFLOPS")
+            record_row(
+                "ablation_compression",
+                benchmark=f"wilson_clover.recon{recon}",
+                metric="gflops",
+                gflops=g,
+            )
     assert gflops[8] > gflops[12] > gflops[18]

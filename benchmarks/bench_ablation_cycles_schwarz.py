@@ -22,6 +22,8 @@ from repro.solvers import MRSmoother, gcr
 
 from tests.conftest import random_spinor
 
+from _shared import record_row
+
 
 @pytest.fixture(scope="module")
 def problem():
@@ -49,6 +51,12 @@ def test_bench_cycle_types(benchmark, problem, cycle):
     assert res.converged
     benchmark.extra_info["outer_iterations"] = res.iterations
     benchmark.extra_info["coarse_ops"] = res.extra["level_stats"][1]["op_applies"]
+    record_row(
+        "ablation_cycles_schwarz",
+        benchmark=f"cycle.{cycle}",
+        outer_iterations=res.iterations,
+        coarse_ops=res.extra["level_stats"][1]["op_applies"],
+    )
 
 
 @pytest.mark.parametrize("smoother_kind", ["global-mr", "schwarz-mr"])

@@ -19,6 +19,8 @@ from repro.solvers import cg, deflated_cg, lanczos_lowest
 
 from tests.conftest import random_spinor
 
+from _shared import record_row
+
 M_CRIT = -1.406  # calibrated for this gauge configuration (seed 11)
 
 
@@ -63,6 +65,12 @@ def test_deflation_helps_at_moderate_conditioning(benchmark, gauge, capsys):
         return plain, defl
 
     plain, defl = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_row(
+        "ablation_deflation",
+        benchmark="deflation.moderate_mass",
+        cg_iterations=plain.iterations,
+        deflated_iterations=defl.iterations,
+    )
     with capsys.disabled():
         print(
             f"\nmoderate mass (m_crit + 0.15): CG {plain.iterations} -> "

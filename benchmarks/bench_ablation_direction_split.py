@@ -18,6 +18,8 @@ from repro.gpu import (
     stencil_kernel_time,
 )
 
+from _shared import record_row
+
 
 def forced_split_gflops(length: int, nc: int, dir_split: int) -> float:
     kernel = CoarseDslashKernel(volume=length**4, dof=2 * nc)
@@ -44,6 +46,12 @@ def test_direction_split_grid(benchmark, capsys):
     lines.append(f"{'L':>3} {'split=1':>9} {'split=2':>9} {'split=4':>9} {'split=8':>9}")
     for length, vals in table.items():
         lines.append(f"{length:>3} " + " ".join(f"{v:>9.2f}" for v in vals))
+        record_row(
+            "ablation_direction_split",
+            benchmark=f"direction_split.L{length}",
+            metric="gflops",
+            **{f"split{d}": v for d, v in zip((1, 2, 4, 8), vals)},
+        )
     with capsys.disabled():
         print("\n" + "\n".join(lines))
 

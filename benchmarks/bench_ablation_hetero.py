@@ -21,6 +21,8 @@ from repro.machine import (
 )
 from repro.workloads import ISO64
 
+from _shared import record_row
+
 
 @pytest.fixture(scope="module")
 def levels():
@@ -40,6 +42,11 @@ def test_titan_keeps_everything_on_gpu(benchmark, levels, capsys):
             print(
                 f"  {n:4d} nodes: "
                 + ", ".join(f"L{p.level}={p.device}" for p in ps)
+            )
+            record_row(
+                "ablation_hetero",
+                benchmark=f"placement.titan.{n}nodes",
+                placement={f"L{p.level}": p.device for p in ps},
             )
     for ps in placements.values():
         assert all(p.device == "gpu" for p in ps)

@@ -16,6 +16,8 @@ from repro.transfer import Transfer
 
 from tests.conftest import random_spinor
 
+from _shared import record_row
+
 
 @pytest.fixture(scope="module")
 def coarse_op():
@@ -46,6 +48,12 @@ def test_bench_apply_multi(benchmark, coarse_op, rhs12, k):
     benchmark(coarse_op.apply_multi, vs)
     per_sys = benchmark.stats["mean"] / k
     benchmark.extra_info["us_per_system"] = round(per_sys * 1e6, 1)
+    record_row(
+        "ablation_multirhs",
+        benchmark=f"apply_multi.k{k}",
+        seconds=per_sys,
+        us_per_system=round(per_sys * 1e6, 1),
+    )
 
 
 def test_batched_amortization(benchmark, coarse_op, rhs12, capsys):

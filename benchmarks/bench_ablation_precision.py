@@ -17,6 +17,8 @@ from repro.workloads import ANISO40_SCALED
 
 from tests.conftest import random_spinor
 
+from _shared import record_row
+
 
 @pytest.fixture(scope="module")
 def system():
@@ -50,6 +52,12 @@ def test_bench_precision_sweep(benchmark, system, precision):
     assert norm(bs - schur.apply(res.x)) / norm(bs) < 1e-10
     benchmark.extra_info["inner_iterations"] = res.iterations
     benchmark.extra_info["outer_cycles"] = res.extra["outer"]
+    record_row(
+        "ablation_precision",
+        benchmark=f"mixed_precision.{precision.name.lower()}",
+        inner_iterations=res.iterations,
+        outer_cycles=res.extra["outer"],
+    )
 
 
 def test_half_needs_more_outer_cycles(benchmark, system):

@@ -17,6 +17,8 @@ from repro.workloads import ANISO40_SCALED
 
 from tests.conftest import random_spinor
 
+from _shared import record_row
+
 
 @pytest.fixture(scope="module")
 def problem():
@@ -47,6 +49,13 @@ def test_bench_subspace_sweep(benchmark, problem, n_null):
     benchmark.extra_info["outer_iterations"] = iters
     benchmark.extra_info["coarse_dim"] = coarse_dim
     benchmark.extra_info["coarse_ops"] = stats[1]["op_applies"]
+    record_row(
+        "ablation_subspace",
+        benchmark=f"subspace.n{n_null}",
+        outer_iterations=iters,
+        coarse_dim=coarse_dim,
+        coarse_ops=stats[1]["op_applies"],
+    )
 
 
 def test_subspace_tradeoff(benchmark, problem):

@@ -19,6 +19,8 @@ from repro.gpu import Autotuner, CoarseDslashKernel, K20X, Strategy
 from repro.lattice import NDIM, Lattice
 from repro.reporting import fig2
 
+from _shared import record_row
+
 
 def test_fig2_report(benchmark, capsys):
     out = benchmark.pedantic(fig2.render, rounds=1, iterations=1)
@@ -58,8 +60,16 @@ def test_bench_real_coarse_apply(benchmark, length):
     benchmark(op.apply, v)
     n = op.site_dof
     flops = op.lattice.volume * (9 * 8 * n * n + 16 * n)
-    benchmark.extra_info["gflops"] = round(flops / benchmark.stats["mean"] / 1e9, 3)
+    gflops = round(flops / benchmark.stats["mean"] / 1e9, 3)
+    benchmark.extra_info["gflops"] = gflops
     benchmark.extra_info["volume"] = op.lattice.volume
+    record_row(
+        "fig2_finegrained",
+        benchmark=f"coarse.apply.L{length}",
+        seconds=benchmark.stats["mean"],
+        gflops=gflops,
+        volume=op.lattice.volume,
+    )
 
 
 def test_bench_model_autotune_sweep(benchmark):

@@ -5,7 +5,7 @@ import pytest
 from repro.reporting import fig3
 from repro.reporting.experiments import compute_all_rows
 
-from _shared import machine_model, priced_rows
+from _shared import machine_model, priced_rows, record_row
 
 
 def test_fig3_measured_report(benchmark, capsys):
@@ -16,6 +16,14 @@ def test_fig3_measured_report(benchmark, capsys):
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    for r in rows:
+        record_row(
+            "fig3_scaling",
+            benchmark=f"fig3.{r.dataset}.{r.solver}",
+            nodes=r.nodes,
+            seconds=r.time_s,
+            cost_node_s=r.cost_node_s,
+        )
     out = fig3.render(rows, "measured")
     with capsys.disabled():
         print("\n" + out)

@@ -6,7 +6,7 @@ from repro.machine import mg_level_specs, mg_time
 from repro.reporting import fig4
 from repro.workloads import ISO64
 
-from _shared import machine_model, measured
+from _shared import machine_model, measured, record_row
 
 
 def _measured_fig4():
@@ -31,6 +31,13 @@ def test_fig4_measured_report(benchmark, capsys):
         lines.append(
             f"{nodes:>6} {lv[0]:>9.3f} {lv[1]:>9.3f} {lv[2]:>9.3f} "
             f"{100 * lv[2] / total:>8.1f}%"
+        )
+        record_row(
+            "fig4_breakdown",
+            benchmark="fig4.level_seconds",
+            nodes=nodes,
+            level_seconds={str(k): v for k, v in lv.items()},
+            coarsest_fraction=lv[2] / total,
         )
     with capsys.disabled():
         print("\n" + "\n".join(lines))

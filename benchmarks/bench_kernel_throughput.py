@@ -18,6 +18,8 @@ from repro.transfer import Transfer
 
 from tests.conftest import random_spinor
 
+from _shared import record_row
+
 
 @pytest.fixture(scope="module")
 def fine_setup():
@@ -44,8 +46,13 @@ def coarse_setup(fine_setup):
 def test_bench_wilson_clover_apply(benchmark, fine_setup):
     lat, op, v = fine_setup
     benchmark(op.apply, v)
-    benchmark.extra_info["msites_per_s"] = round(
-        lat.volume / benchmark.stats["mean"] / 1e6, 3
+    msites = round(lat.volume / benchmark.stats["mean"] / 1e6, 3)
+    benchmark.extra_info["msites_per_s"] = msites
+    record_row(
+        "kernel_throughput",
+        benchmark="wilson_clover.apply",
+        seconds=benchmark.stats["mean"],
+        msites_per_s=msites,
     )
 
 

@@ -26,6 +26,8 @@ from repro.workloads import ANISO40_SCALED, ISO64, mg_params_for
 
 from tests.conftest import random_spinor
 
+from _shared import record_row
+
 
 def test_bench_measured_setup_vs_solve(benchmark, capsys):
     """Real setup-to-solve wallclock ratio on the scaled dataset."""
@@ -44,6 +46,13 @@ def test_bench_measured_setup_vs_solve(benchmark, capsys):
         return t_setup, t_solve
 
     t_setup, t_solve = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_row(
+        "setup_amortization",
+        benchmark="aniso40.setup_vs_solve",
+        setup_s=t_setup,
+        solve_s=t_solve,
+        solve_equivalents=t_setup / t_solve,
+    )
     with capsys.disabled():
         print(
             f"\nmeasured setup {t_setup:.1f}s vs solve {t_solve:.2f}s "

@@ -8,6 +8,8 @@ from repro.lattice import Lattice
 from repro.reporting import table1
 from repro.workloads import SCALED_FOR_PAPER
 
+from _shared import record_row
+
 
 def test_table1_report(benchmark, capsys):
     out = benchmark.pedantic(table1.render, rounds=1, iterations=1)
@@ -25,6 +27,12 @@ def test_bench_gauge_generation(benchmark, label):
     plaq = average_plaquette(gauge)
     benchmark.extra_info["plaquette"] = round(plaq, 4)
     benchmark.extra_info["dims"] = "x".join(map(str, ds.dims))
+    record_row(
+        "table1_datasets",
+        benchmark=f"gauge_generation.{label}",
+        plaquette=round(plaq, 4),
+        dims="x".join(map(str, ds.dims)),
+    )
     assert 0.0 < plaq < 1.0
 
 

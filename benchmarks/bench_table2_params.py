@@ -8,6 +8,8 @@ from repro.mg import MultigridSolver
 from repro.reporting import table2
 from repro.workloads import ANISO40_SCALED, mg_params_for
 
+from _shared import record_row
+
 
 def test_table2_report(benchmark, capsys):
     out = benchmark.pedantic(table2.render, rounds=1, iterations=1)
@@ -33,3 +35,9 @@ def test_bench_mg_setup(benchmark):
     assert mg.hierarchy.n_levels == 3
     benchmark.extra_info["levels"] = mg.hierarchy.n_levels
     benchmark.extra_info["null_vectors"] = [lp.n_null for lp in params.levels]
+    record_row(
+        "table2_params",
+        benchmark="mg_setup.aniso40",
+        levels=mg.hierarchy.n_levels,
+        null_vectors=[lp.n_null for lp in params.levels],
+    )

@@ -12,7 +12,7 @@ import pytest
 from repro.reporting import table3
 from repro.reporting.experiments import compute_all_rows
 
-from _shared import measured, priced_rows
+from _shared import measured, priced_rows, record_row
 
 
 @pytest.mark.parametrize("label", ["Aniso40", "Iso48", "Iso64"])
@@ -24,6 +24,12 @@ def test_bench_measured_solves(benchmark, label):
     bi_iters = result["BiCGStab"].mean_iterations
     benchmark.extra_info["mg_outer_iters"] = mg_iters
     benchmark.extra_info["bicgstab_iters"] = bi_iters
+    record_row(
+        "table3_solvers",
+        benchmark=f"table3.{label}",
+        mg_outer_iters=mg_iters,
+        bicgstab_iters=bi_iters,
+    )
     # MG iterations must sit in the paper's flat band while BiCGStab
     # shows critical slowing down even at laptop volume
     assert mg_iters < 40

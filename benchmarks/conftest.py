@@ -1,0 +1,51 @@
+"""Benchmark-session persistence: flush ``repro.bench/v1`` envelopes.
+
+Two capture paths feed ``REPRO_BENCH_OUT`` (a directory; unset = off):
+
+* rows the benchmark modules queued explicitly via
+  :func:`_shared.record_row` — the headline, schema-stable numbers;
+* the raw pytest-benchmark timing statistics of *every* benchmarked
+  test, grouped into one ``pytest_<module>.json`` envelope per module,
+  so even modules that only wrap ``benchmark(...)`` persist something
+  comparable.
+
+Both go through :func:`repro.perf.bench_document`, the same envelope
+the ledger and ``repro perf diff`` consume.
+"""
+
+from __future__ import annotations
+
+
+def _pytest_benchmark_rows(session) -> dict[str, list[dict]]:
+    """Extract per-module timing rows from the pytest-benchmark session."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    out: dict[str, list[dict]] = {}
+    for bench in getattr(bench_session, "benchmarks", []) or []:
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        module = bench.fullname.split("::")[0]
+        module = module.rsplit("/", 1)[-1].removesuffix(".py")
+        row = {"benchmark": bench.name, "metric": "seconds"}
+        for key in ("min", "max", "mean", "stddev", "median", "iqr", "rounds"):
+            try:
+                row[key] = float(stats.stats.as_dict()[key])
+            except (AttributeError, KeyError, TypeError):
+                try:
+                    row[key] = float(stats[key])
+                except (KeyError, TypeError):
+                    pass
+        row["mad"] = 0.0
+        row.update(getattr(bench, "extra_info", {}) or {})
+        out.setdefault(f"pytest_{module}", []).append(row)
+    return out
+
+
+def pytest_sessionfinish(session, exitstatus):
+    from _shared import BENCH_OUT, flush_bench_documents
+
+    if not BENCH_OUT:
+        return
+    paths = flush_bench_documents(extra=_pytest_benchmark_rows(session))
+    if paths:
+        print(f"\n[bench] {len(paths)} envelope(s) written to {BENCH_OUT}")

@@ -13,6 +13,17 @@ Usage::
     python -m repro.cli serve-bench [dataset] [--batch-sizes 1,4,8,16] [--requests N]
     python -m repro.cli check  [dataset] [--json out.json] [--strategy 24/24]
                                [--invariants a,b,...] [--max-needs TIER]
+    python -m repro.cli bench  run [--suite quick|full] | list
+    python -m repro.cli perf   diff A B [--tolerance T] [--warn-only]
+
+``bench``/``perf`` route to the performance-observability layer
+(:mod:`repro.perf.cli`): ``bench run`` executes a curated measurement
+suite into the content-addressed ledger (+ ``BENCH_<suite>.json``
+trajectory file), ``perf diff`` compares two ledger entries or trace
+documents with a median/MAD noise model and exits nonzero on
+regression.  Dataset arguments are case-insensitive and accept both
+paper labels (``Aniso40``) and scaled labels (``aniso40-scaled``);
+unknown names print the valid list and exit 2.
 
 ``check`` runs the numerical-invariant registry (:mod:`repro.verify`)
 against a scaled dataset: gauge-field sanity, gamma5-hermiticity,
@@ -50,24 +61,44 @@ ARTIFACTS = [
     "serve-bench", "check",
 ]
 
+# command groups routed to the perf CLI (repro.perf.cli)
+PERF_GROUPS = ("bench", "perf")
+
+
+def resolve_dataset(name: str):
+    """Resolve a dataset label or exit 2 with the valid list (no traceback)."""
+    import sys
+
+    from .workloads import dataset_labels, resolve_scaled_dataset
+
+    try:
+        return resolve_scaled_dataset(name)
+    except KeyError:
+        print(
+            f"error: unknown dataset {name!r}\n"
+            f"valid datasets: {', '.join(dataset_labels())}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+
 
 def run_trace(dataset: str, verbose: bool = True) -> dict:
     """Run one measured MG solve on ``dataset`` with telemetry enabled.
 
-    Returns the trace document (schema ``repro.telemetry/v1``).
+    Returns the trace document (schema ``repro.telemetry/v1``), already
+    performance-attributed: every cost-carrying span has ``gflops``,
+    ``gbs``, ``arithmetic_intensity`` and ``roofline_fraction`` fields
+    (:func:`repro.perf.attribute_trace`).
     """
     import numpy as np
 
     from .dirac import WilsonCloverOperator
     from .fields import SpinorField
     from .mg import MultigridSolver
-    from .workloads import SCALED_FOR_PAPER, mg_params_for
+    from .perf import attribute_trace
+    from .workloads import mg_params_for
 
-    if dataset not in SCALED_FOR_PAPER:
-        raise SystemExit(
-            f"unknown dataset {dataset!r}; choose from {sorted(SCALED_FOR_PAPER)}"
-        )
-    ds = SCALED_FOR_PAPER[dataset]
+    ds = resolve_dataset(dataset)
     telemetry.enable()
     telemetry.reset()
     try:
@@ -87,17 +118,30 @@ def run_trace(dataset: str, verbose: bool = True) -> dict:
         )
     finally:
         telemetry.disable()
+    attribute_trace(doc)
     if verbose:
+        from .perf import aggregate_level_costs, roofline_table
+
         per_level = telemetry.aggregate_level_seconds(doc["spans"])
         print(
             telemetry.level_breakdown_table(
                 per_level, title=f"trace {ds.label}: exclusive seconds per level"
             )
         )
+        print()
+        print(roofline_table(aggregate_level_costs(doc["spans"])))
     return doc
 
 
 def main(argv: list[str] | None = None) -> int:
+    import sys
+
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in PERF_GROUPS:
+        from .perf.cli import perf_main
+
+        return perf_main(argv)
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the tables and figures of Clark et al. (SC 2016)",
@@ -172,22 +216,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.artifact == "check":
         from .verify.runner import main_check
 
+        args.dataset = resolve_dataset(args.dataset).label
         return main_check(args)
 
     if args.artifact == "serve-bench":
         import json
 
         from .serve import render_table, run_serve_bench
-        from .workloads import SCALED_FOR_PAPER
 
-        if args.dataset not in SCALED_FOR_PAPER:
-            raise SystemExit(
-                f"unknown dataset {args.dataset!r}; "
-                f"choose from {sorted(SCALED_FOR_PAPER)}"
-            )
+        dataset = resolve_dataset(args.dataset)
         batch_sizes = tuple(int(s) for s in args.batch_sizes.split(","))
         doc = run_serve_bench(
-            dataset=SCALED_FOR_PAPER[args.dataset],
+            dataset=dataset,
             batch_sizes=batch_sizes,
             n_requests=args.requests,
             verbose=True,

@@ -59,7 +59,7 @@ class HaloExchange:
         recv_face = self._faces[(mu, +1 if sign > 0 else -1)]
         send_face = self._faces[(mu, -1 if sign > 0 else +1)]
         full_tag = tag or f"halo_mu{mu}_s{sign:+d}"
-        with get_tracer().span("halo.exchange", mu=mu, sign=sign):
+        with get_tracer().span("halo.exchange", mu=mu, sign=sign) as sp:
             sent_bytes = 0
             # every rank packs the face its backward (w.r.t. sign) neighbour
             # needs, then receives its own ghost face
@@ -71,6 +71,8 @@ class HaloExchange:
             for r in range(part.num_ranks):
                 src = part.neighbor_rank(r, mu, +1 if sign > 0 else -1)
                 out[r][recv_face] = self.comm.recv(src, r, full_tag)
+            # pure data movement: each face is written out and read back
+            sp.attribute(bytes=2.0 * sent_bytes)
         registry = get_registry()
         if registry.enabled:
             registry.counter("comm.messages", mu=mu).inc(part.num_ranks)

@@ -30,6 +30,11 @@ class PartitionedOperator:
         self.nc = op.nc
         self.lattice = op.lattice
 
+    def application_cost(self) -> tuple[float, float]:
+        """Delegate ``(flops, bytes)`` to the wrapped single-rank operator;
+        the exchanged halo faces book themselves onto their own spans."""
+        return self.op.application_cost()
+
     # ------------------------------------------------------------------
     def split(self, v: np.ndarray) -> np.ndarray:
         """Global field -> per-rank local fields, shape (R, V_local, ns, nc)."""

@@ -149,3 +149,35 @@ class StencilOperator(abc.ABC):
         """
         dof = self.site_dof
         return 9 * 8 * dof * dof + 8 * 2 * dof
+
+    def bytes_per_site(self, precision_bytes: float = 8.0) -> float:
+        """Minimal memory traffic per site for one application.
+
+        Generic dense-stencil traffic (the coarse-operator model of
+        :class:`repro.gpu.kernels.CoarseDslashKernel`): 9 dense dof×dof
+        matrices, 9 input dof vectors (8 neighbours + diagonal), one
+        output write and one read-modify-write.  ``precision_bytes``
+        defaults to 8 (the complex128 reals this NumPy implementation
+        actually streams).
+        """
+        dof = self.site_dof
+        matrices = 9 * dof * dof * 2 * precision_bytes
+        vectors = (9 + 2) * dof * 2 * precision_bytes
+        return matrices + vectors
+
+    def application_cost(self) -> tuple[float, float]:
+        """``(flops, bytes)`` of one full operator application.
+
+        Cached per instance: telemetry attributes every traced stencil
+        span with this cost (:meth:`repro.telemetry.Span.attribute`), so
+        the lookup sits on the hot path even when tracing is on.
+        """
+        cached = getattr(self, "_application_cost", None)
+        if cached is None:
+            volume = self.lattice.volume
+            cached = (
+                volume * self.flops_per_site(),
+                volume * self.bytes_per_site(),
+            )
+            self._application_cost = cached
+        return cached

@@ -156,3 +156,15 @@ class WilsonCloverOperator(StencilOperator):
         is folded into the clover diagonal.
         """
         return 1824.0 if self.c_sw != 0.0 else 1368.0
+
+    def bytes_per_site(self, precision_bytes: float = 8.0) -> float:
+        """Wilson-Clover traffic model (no gauge-link reconstruction here:
+        the NumPy implementation stores all 18 reals per link; spinor
+        neighbour reuse matches :class:`repro.gpu.kernels.WilsonCloverDslashKernel`)."""
+        p = precision_bytes
+        gauge = 8 * 18 * p
+        spinor_reuse = 0.5
+        spinor_in = (1 + 8 * (1.0 - spinor_reuse)) * 24 * p
+        spinor_out = 24 * p
+        clover = 72 * p if self.c_sw != 0.0 else 0.0
+        return gauge + spinor_in + spinor_out + clover

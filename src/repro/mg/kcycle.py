@@ -28,6 +28,17 @@ from ..telemetry.tracer import get_tracer
 from .hierarchy import MGLevel, MultigridHierarchy
 
 
+def operator_application_cost(op) -> tuple[float, float]:
+    """``(flops, bytes)`` of one application, (0, 0) for opaque operators.
+
+    Most operators inherit the hook from
+    :class:`~repro.dirac.stencil.StencilOperator`; wrappers that do not
+    expose it simply go unattributed rather than breaking the solve.
+    """
+    fn = getattr(op, "application_cost", None)
+    return fn() if fn is not None else (0.0, 0.0)
+
+
 def gcr_reductions(iterations: int, nkrylov: int) -> int:
     """Global reductions incurred by ``iterations`` GCR steps.
 
@@ -53,31 +64,44 @@ class KCyclePreconditioner:
         stats = lev.stats
         tracer = get_tracer()
 
+        # span cost attribution (repro.perf); cached tuples, fetched only
+        # when tracing is live so the disabled path stays two flag tests
+        op_cost = (
+            operator_application_cost(lev.op) if tracer.enabled else (0.0, 0.0)
+        )
+        tr_cost = (
+            lev.transfer.application_cost() if tracer.enabled else (0.0, 0.0)
+        )
+
         with tracer.span("kcycle", level=self.level):
             # 1. pre-smooth
             z = self._smooth(lev, r, phase="pre")
 
             # 2. defect restriction
             stats.op_applies += 1
-            with tracer.span("residual", level=self.level):
+            with tracer.span("residual", level=self.level) as sp:
                 r1 = r - lev.op.apply(z)
+                sp.attribute(*op_cost)
             stats.restricts += 1
-            with tracer.span("restrict", level=self.level):
+            with tracer.span("restrict", level=self.level) as sp:
                 rc = lev.transfer.restrict(r1)
+                sp.attribute(*tr_cost)
 
             # 3. coarse solve (GCR; K-cycle-preconditioned unless coarsest)
-            with tracer.span("coarse-solve", level=self.level + 1):
-                ec = self._coarse_solve(rc)
+            with tracer.span("coarse-solve", level=self.level + 1) as sp:
+                ec = self._coarse_solve(rc, sp)
 
             # 4. prolongate and correct
             stats.prolongs += 1
-            with tracer.span("prolong", level=self.level):
+            with tracer.span("prolong", level=self.level) as sp:
                 z = z + lev.transfer.prolong(ec)
+                sp.attribute(*tr_cost)
 
             # 5. post-smooth
             stats.op_applies += 1
-            with tracer.span("residual", level=self.level):
+            with tracer.span("residual", level=self.level) as sp:
                 r2 = r - lev.op.apply(z)
+                sp.attribute(*op_cost)
             z = z + self._smooth(lev, r2, phase="post")
         return z
 
@@ -86,10 +110,29 @@ class KCyclePreconditioner:
         assert lev.smoother is not None and lev.params is not None
         lev.stats.smoother_applies += lev.params.smoother_steps + 1
         lev.stats.reductions += 2 * lev.params.smoother_steps
-        with get_tracer().span("smoother", level=lev.index, phase=phase):
-            return lev.smoother.apply(r)
+        tracer = get_tracer()
+        with tracer.span("smoother", level=lev.index, phase=phase) as sp:
+            out = lev.smoother.apply(r)
+            if tracer.enabled:
+                # smoother_applies counts dslash-equivalents, so the
+                # attributed cost is that many full stencil applications;
+                # it runs inside the instrumented solve.* child span when
+                # the smoother is a Krylov method, so pair the cost with
+                # that span's self-time
+                flops, nbytes = operator_application_cost(lev.op)
+                n = lev.params.smoother_steps + 1
+                target = next(
+                    (
+                        c
+                        for c in reversed(sp.children)
+                        if c.name.startswith("solve.")
+                    ),
+                    sp,
+                )
+                target.attribute(flops=n * flops, bytes=n * nbytes)
+        return out
 
-    def _coarse_solve(self, rc: np.ndarray) -> np.ndarray:
+    def _coarse_solve(self, rc: np.ndarray, span=None) -> np.ndarray:
         params = self.hierarchy.params
         lp = self.hierarchy.levels[self.level].params
         assert lp is not None
@@ -97,7 +140,7 @@ class KCyclePreconditioner:
         stats = coarse.stats
 
         if coarse.is_coarsest:
-            ec = self._coarsest_solve(coarse, rc, lp)
+            ec = self._coarsest_solve(coarse, rc, lp, span=span)
         elif params.cycle_type == "K":
             cp = coarse.params
             assert cp is not None
@@ -113,6 +156,7 @@ class KCyclePreconditioner:
             )
             stats.gcr_iters += res.iterations
             stats.reductions += gcr_reductions(res.iterations, cp.nkrylov)
+            self._attribute_matvecs(span, coarse, res.matvecs)
             ec = res.x
         else:
             # V- or W-cycle: apply the next level's cycle directly as an
@@ -122,10 +166,37 @@ class KCyclePreconditioner:
             if params.cycle_type == "W":
                 stats.op_applies += 1
                 rc2 = rc - self._wrap_precision(coarse.op).apply(ec)
+                self._attribute_matvecs(span, coarse, 1)
                 ec = ec + inner.apply(rc2)
         return ec
 
-    def _coarsest_solve(self, coarse: MGLevel, rc: np.ndarray, lp) -> np.ndarray:
+    @staticmethod
+    def _attribute_matvecs(span, coarse: MGLevel, matvecs: int) -> None:
+        """Book the GCR's own matvec cost where its time is measured.
+
+        Work done by nested K-cycle spans books itself, so only the
+        driver's direct operator applications land here — attributed
+        costs stay exclusive, like span self-times.  The matvecs run
+        inside the instrumented ``solve.*`` child span (whose self-time
+        excludes the nested preconditioner), so the cost goes there;
+        the bare coarse-solve span is the fallback.
+        """
+        if span is None or not matvecs:
+            return
+        flops, nbytes = operator_application_cost(coarse.op)
+        target = next(
+            (
+                c
+                for c in reversed(getattr(span, "children", []))
+                if c.name.startswith("solve.")
+            ),
+            span,
+        )
+        target.attribute(flops=matvecs * flops, bytes=matvecs * nbytes)
+
+    def _coarsest_solve(
+        self, coarse: MGLevel, rc: np.ndarray, lp, span=None
+    ) -> np.ndarray:
         params = self.hierarchy.params
         stats = coarse.stats
         nk = lp.nkrylov
@@ -143,6 +214,8 @@ class KCyclePreconditioner:
             ec = res.x
         stats.gcr_iters += res.iterations
         stats.reductions += gcr_reductions(res.iterations, nk)
+        extra = 2 if params.coarsest_schur else 0  # source prep + reconstruct
+        self._attribute_matvecs(span, coarse, res.matvecs + extra)
         return ec
 
     def _wrap_precision(self, op):

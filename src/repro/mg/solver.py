@@ -15,7 +15,7 @@ from ..solvers.gcr import gcr
 from ..telemetry.metrics import get_registry
 from ..telemetry.tracer import Span, get_tracer
 from .hierarchy import MultigridHierarchy
-from .kcycle import KCyclePreconditioner, gcr_reductions
+from .kcycle import KCyclePreconditioner, gcr_reductions, operator_application_cost
 from .params import MGParams
 
 
@@ -92,6 +92,19 @@ class MultigridSolver:
         fine.stats.reductions += gcr_reductions(
             result.iterations, self.params.outer_nkrylov
         )
+        if isinstance(sp, Span):
+            # The outer GCR's own matvecs (K-cycle spans book their own).
+            # They run inside the child solve.gcr span, whose self-time
+            # excludes the preconditioner subtree — book the cost there
+            # so costs partition like self-times; fall back to mg.solve
+            # if gcr ever stops opening its span.
+            flops, nbytes = operator_application_cost(fine.op)
+            target = next(
+                (c for c in sp.children if c.name == "solve.gcr"), sp
+            )
+            target.attribute(
+                flops=result.matvecs * flops, bytes=result.matvecs * nbytes
+            )
         self._publish_telemetry(result, sp)
         if self.params.verify_level == "solve":
             from ..verify.runtime import verify_solve

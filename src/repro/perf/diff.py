@@ -1,0 +1,175 @@
+"""``repro perf diff``: compare two measurements, gate on regression.
+
+Compares two ledger entries (``repro.bench/v1``) or two trace documents
+(``repro.telemetry/v1``) series-by-series.  A series regresses when it
+got slower by more than the relative tolerance *and* the change clears
+the noise band — ``z`` robust standard deviations estimated from the
+median absolute deviation of both sample sets (``sigma ≈ 1.4826 MAD``).
+Single-sample series (e.g. traces) fall back to the relative tolerance
+alone.  The verdict is an exit code: 0 clean, 1 regression — the CI
+perf-smoke job runs this warn-only against the committed
+``BENCH_quick.json`` baseline, and release branches can make it
+blocking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..telemetry.export import SCHEMA as TRACE_SCHEMA
+from ..telemetry.export import aggregate_level_seconds
+from .ledger import BENCH_SCHEMA, median_mad
+
+# 1.4826 scales the MAD of a normal distribution to its sigma
+MAD_TO_SIGMA = 1.4826
+# series faster than this are pure timer noise and never gate
+MIN_GATED_SECONDS = 50e-6
+
+
+@dataclass
+class Series:
+    """One comparable measurement: a named median with a noise scale."""
+
+    key: str
+    median: float
+    mad: float = 0.0
+    count: int = 1
+
+
+@dataclass
+class DiffRow:
+    key: str
+    a: Series | None
+    b: Series | None
+    verdict: str  # "ok" | "regression" | "improvement" | "added" | "removed"
+    ratio: float | None = None
+
+    def render(self) -> str:
+        if self.a is None:
+            return f"  + {self.key}: added ({self.b.median:.6g}s)"
+        if self.b is None:
+            return f"  - {self.key}: removed (was {self.a.median:.6g}s)"
+        mark = {"regression": "✗", "improvement": "✓", "ok": " "}[self.verdict]
+        return (
+            f"  {mark} {self.key}: {self.a.median:.6g}s -> {self.b.median:.6g}s "
+            f"({self.ratio:+.1%})"
+        )
+
+
+@dataclass
+class PerfDiff:
+    """The full comparison; ``exit_code`` is the CI verdict."""
+
+    rows: list[DiffRow] = field(default_factory=list)
+    tolerance: float = 0.10
+    z: float = 3.0
+
+    @property
+    def regressions(self) -> list[DiffRow]:
+        return [r for r in self.rows if r.verdict == "regression"]
+
+    @property
+    def improvements(self) -> list[DiffRow]:
+        return [r for r in self.rows if r.verdict == "improvement"]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.regressions else 0
+
+    def render(self) -> str:
+        lines = [
+            f"perf diff: {len(self.rows)} series, "
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s) "
+            f"(tolerance {self.tolerance:.0%}, z={self.z:g})"
+        ]
+        lines.extend(row.render() for row in self.rows)
+        verdict = "REGRESSED" if self.regressions else "OK"
+        lines.append(f"verdict: {verdict}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.perf-diff/v1",
+            "tolerance": self.tolerance,
+            "z": self.z,
+            "verdict": "regression" if self.regressions else "ok",
+            "rows": [
+                {
+                    "key": r.key,
+                    "verdict": r.verdict,
+                    "ratio": r.ratio,
+                    "a_median": r.a.median if r.a else None,
+                    "b_median": r.b.median if r.b else None,
+                }
+                for r in self.rows
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# extracting comparable series from the two document schemas
+# ----------------------------------------------------------------------
+def series_from_document(doc: dict) -> dict[str, Series]:
+    """Index any supported measurement document by series key."""
+    schema = doc.get("schema")
+    if schema == BENCH_SCHEMA:
+        return _series_from_bench(doc)
+    if schema == TRACE_SCHEMA:
+        return _series_from_trace(doc)
+    raise ValueError(f"cannot diff documents with schema {schema!r}")
+
+
+def _series_from_bench(doc: dict) -> dict[str, Series]:
+    out: dict[str, Series] = {}
+    for row in doc.get("rows", []):
+        key = str(row.get("benchmark", row.get("name", "?")))
+        samples = row.get("samples")
+        if samples:
+            med, mad = median_mad([float(s) for s in samples])
+            out[key] = Series(key, med, mad, len(samples))
+        elif "median" in row:
+            out[key] = Series(key, float(row["median"]), float(row.get("mad", 0.0)))
+    return out
+
+
+def _series_from_trace(doc: dict) -> dict[str, Series]:
+    per_level = aggregate_level_seconds(doc.get("spans", []))
+    out: dict[str, Series] = {}
+    for level in sorted(per_level):
+        for name, seconds in per_level[level].items():
+            key = f"trace/L{level}/{name}"
+            out[key] = Series(key, float(seconds))
+    return out
+
+
+# ----------------------------------------------------------------------
+# the comparison
+# ----------------------------------------------------------------------
+def compare_documents(
+    a: dict, b: dict, tolerance: float = 0.10, z: float = 3.0
+) -> PerfDiff:
+    """Compare measurement documents ``a`` (baseline) and ``b`` (new)."""
+    series_a = series_from_document(a)
+    series_b = series_from_document(b)
+    diff = PerfDiff(tolerance=tolerance, z=z)
+    for key in sorted(set(series_a) | set(series_b)):
+        sa, sb = series_a.get(key), series_b.get(key)
+        if sa is None:
+            diff.rows.append(DiffRow(key, None, sb, "added"))
+            continue
+        if sb is None:
+            diff.rows.append(DiffRow(key, sa, None, "removed"))
+            continue
+        delta = sb.median - sa.median
+        ratio = delta / sa.median if sa.median > 0.0 else 0.0
+        noise = z * MAD_TO_SIGMA * max(sa.mad, sb.mad)
+        threshold = max(tolerance * sa.median, noise)
+        verdict = "ok"
+        if max(sa.median, sb.median) >= MIN_GATED_SECONDS:
+            if delta > threshold:
+                verdict = "regression"
+            elif -delta > threshold:
+                verdict = "improvement"
+        diff.rows.append(DiffRow(key, sa, sb, verdict, ratio))
+    return diff

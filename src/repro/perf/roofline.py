@@ -1,0 +1,84 @@
+"""The roofline machine model behind per-span performance attribution.
+
+A roofline is two numbers: the compute ceiling (peak GFLOPS) and the
+bandwidth ceiling (STREAM GB/s).  A kernel with arithmetic intensity
+``I = flops / bytes`` can at best attain ``min(peak, stream * I)``
+GFLOPS; the paper's Figure 2 headline — the saturated coarse operator
+runs at ~80 % of STREAM on a K20X — is exactly a roofline fraction at
+the coarse kernel's ~1 flop/byte intensity.  :func:`resolve_roofline`
+maps a device name (any entry of :data:`repro.gpu.device.DEVICES`), a
+:class:`~repro.gpu.device.DeviceSpec`, or ``None`` (the paper's K20X)
+to a :class:`Roofline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from ..gpu.device import DEVICES, K20X, DeviceSpec
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """Compute and bandwidth ceilings of one machine."""
+
+    name: str
+    peak_gflops: float
+    stream_gbs: float
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Flops/byte above which the machine is compute bound."""
+        return self.peak_gflops / self.stream_gbs
+
+    def attainable_gflops(self, intensity: float) -> float:
+        """Best-case GFLOPS at arithmetic intensity ``intensity``."""
+        if intensity <= 0.0:
+            return 0.0
+        return min(self.peak_gflops, self.stream_gbs * intensity)
+
+    def fraction(self, gflops: float, intensity: float) -> float:
+        """Achieved fraction of the roofline at this intensity.
+
+        1.0 means the measurement sits on the roof; Figure 2's coarse
+        operator reports ~0.8 here (80 % of STREAM, memory-bound side).
+        """
+        attainable = self.attainable_gflops(intensity)
+        if attainable <= 0.0:
+            return 0.0
+        return gflops / attainable
+
+    @classmethod
+    def from_device(cls, device: DeviceSpec) -> "Roofline":
+        return cls(
+            name=device.name,
+            peak_gflops=device.peak_gflops,
+            stream_gbs=device.stream_bandwidth_gbs,
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def resolve_roofline(device=None) -> Roofline:
+    """Normalize any device designation to a :class:`Roofline`.
+
+    Accepts ``None`` (→ the paper's K20X), a device name from
+    :data:`~repro.gpu.device.DEVICES`, a
+    :class:`~repro.gpu.device.DeviceSpec`, or a ready
+    :class:`Roofline`.
+    """
+    if device is None:
+        return Roofline.from_device(K20X)
+    if isinstance(device, Roofline):
+        return device
+    if isinstance(device, DeviceSpec):
+        return Roofline.from_device(device)
+    if isinstance(device, str):
+        spec = DEVICES.get(device)
+        if spec is None:
+            raise KeyError(
+                f"unknown device {device!r}; choose from {sorted(DEVICES)}"
+            )
+        return Roofline.from_device(spec)
+    raise TypeError(f"cannot build a roofline from {device!r}")

@@ -1,5 +1,6 @@
 """Solve service: request queue, dynamic multi-RHS batching, setup cache."""
 
+from . import slog
 from .bench import render_table, run_serve_bench
 from .cache import SetupCache, operator_fingerprint, setup_cache_key
 from .service import (
@@ -21,4 +22,5 @@ __all__ = [
     "render_table",
     "run_serve_bench",
     "setup_cache_key",
+    "slog",
 ]

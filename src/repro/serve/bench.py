@@ -100,6 +100,7 @@ def run_serve_bench(
             "throughput_rps": n_requests / wall,
             "p50_s": _percentile(latencies, 50),
             "p95_s": _percentile(latencies, 95),
+            "p99_s": _percentile(latencies, 99),
             "mean_iterations": float(np.mean([r.iterations for r in results])),
             "all_converged": bool(all(r.converged for r in results)),
             "batches": svc.stats["batches"],
@@ -112,6 +113,7 @@ def run_serve_bench(
                 f"{row['throughput_rps']:7.2f} req/s  "
                 f"p50 {row['p50_s'] * 1e3:8.1f} ms  "
                 f"p95 {row['p95_s'] * 1e3:8.1f} ms  "
+                f"p99 {row['p99_s'] * 1e3:8.1f} ms  "
                 f"batches {row['batches']}"
             )
 
@@ -137,14 +139,16 @@ def render_table(doc: dict) -> str:
         f"serve-bench {doc['dataset']} — {doc['n_requests']} requests, "
         f"tol {doc['tol']:g}",
         f"{'batch':>6} {'req/s':>8} {'p50 ms':>9} {'p95 ms':>9} "
-        f"{'speedup':>8} {'max dev':>9}",
+        f"{'p99 ms':>9} {'speedup':>8} {'max dev':>9}",
     ]
     for row in doc["rows"]:
         speedup = doc["speedups_vs_batch1"][str(row["max_batch"])]
+        # pre-p99 documents render with a blank column
+        p99 = f"{row['p99_s'] * 1e3:>9.1f}" if "p99_s" in row else f"{'—':>9}"
         lines.append(
             f"{row['max_batch']:>6} {row['throughput_rps']:>8.2f} "
             f"{row['p50_s'] * 1e3:>9.1f} {row['p95_s'] * 1e3:>9.1f} "
-            f"{speedup:>7.2f}x {row['max_dev_vs_batch1']:>9.1e}"
+            f"{p99} {speedup:>7.2f}x {row['max_dev_vs_batch1']:>9.1e}"
         )
     cache = doc["setup_cache"]
     lines.append(

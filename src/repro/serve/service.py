@@ -42,6 +42,7 @@ from ..solvers.base import SolveResult
 from ..telemetry.metrics import get_registry
 from ..telemetry.tracer import get_tracer
 from .cache import SetupCache
+from .slog import log_event
 
 
 class ServiceOverloadedError(RuntimeError):
@@ -144,6 +145,7 @@ class SolveService:
             "verify_checks": 0,
             "verify_failures": 0,
         }
+        self._in_flight = 0
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.n_workers, thread_name_prefix="serve-worker"
         )
@@ -222,6 +224,9 @@ class SolveService:
                 self.stats["rejected"] += 1
                 if registry.enabled:
                     registry.counter("serve.rejected", op=op_name).inc()
+                log_event(
+                    "rejected", op=op_name, queue_depth=len(self._pending)
+                )
                 raise ServiceOverloadedError(
                     f"queue full ({self.config.queue_capacity} pending)"
                 )
@@ -238,6 +243,13 @@ class SolveService:
         if registry.enabled:
             registry.counter("serve.requests", op=op_name).inc()
             registry.gauge("serve.queue_depth").set(len(self._pending))
+        log_event(
+            "enqueued",
+            request_id=req.id,
+            op=op_name,
+            tol=req.tol,
+            queue_depth=len(self._pending),
+        )
         return req.future
 
     def solve(
@@ -309,6 +321,9 @@ class SolveService:
                 if remaining <= 0 or self._closed:
                     break
                 self._cond.wait(remaining)
+            registry = get_registry()
+            if registry.enabled:
+                registry.gauge("serve.queue_depth").set(len(self._pending))
             return batch
 
     def _extract_matching(self, batch, key, max_batch) -> None:
@@ -334,6 +349,14 @@ class SolveService:
             self._pool.submit(self._run_batch, batch)
 
     # -- execution ------------------------------------------------------
+    def _settle_in_flight(self, registry, n: int) -> None:
+        """Retire ``n`` in-flight systems and refresh the gauge."""
+        with self._cond:
+            self._in_flight -= n
+            in_flight = self._in_flight
+        if registry.enabled:
+            registry.gauge("serve.in_flight").set(in_flight)
+
     def _run_batch(self, batch: list[_Request]) -> None:
         try:
             self._run_batch_inner(batch)
@@ -349,6 +372,12 @@ class SolveService:
                 self.stats["timeouts"] += 1
                 if registry.enabled:
                     registry.counter("serve.timeouts", op=req.op_name).inc()
+                log_event(
+                    "timeout",
+                    request_id=req.id,
+                    op=req.op_name,
+                    waited_s=now - req.enqueued_at,
+                )
                 req.future.set_exception(
                     SolveTimeoutError(
                         f"request {req.id} waited "
@@ -374,6 +403,19 @@ class SolveService:
         batched = (
             self.config.allow_batching and entry.batchable and len(live) > 1
         )
+        with self._cond:
+            self._in_flight += len(live)
+            in_flight = self._in_flight
+        if registry.enabled:
+            registry.gauge("serve.in_flight").set(in_flight)
+        log_event(
+            "dispatched",
+            op=head.op_name,
+            request_ids=[req.id for req in live],
+            batch_size=len(live),
+            mode="batched" if batched else "sequential",
+            in_flight=in_flight,
+        )
         try:
             with get_tracer().span(
                 "serve.batch",
@@ -397,6 +439,13 @@ class SolveService:
                 dt = time.perf_counter() - t0
         except Exception as exc:  # propagate solver failures to every waiter
             self.stats["failed"] += len(live)
+            self._settle_in_flight(registry, len(live))
+            log_event(
+                "failed",
+                op=head.op_name,
+                request_ids=[req.id for req in live],
+                error=repr(exc),
+            )
             for req in live:
                 if not req.future.done():
                     req.future.set_exception(exc)
@@ -413,8 +462,24 @@ class SolveService:
                 )
                 res.telemetry.attrs["verify"] = [r.to_dict() for r in reports]
                 self._book_verify(reports)
+        done = time.perf_counter()
         for req, res in zip(live, results):
             self.stats["completed"] += 1
+            latency = done - req.enqueued_at
+            if registry.enabled:
+                registry.histogram(
+                    "serve.request_latency_s", op=req.op_name
+                ).observe(latency)
+            log_event(
+                "completed",
+                request_id=req.id,
+                op=req.op_name,
+                latency_s=latency,
+                solve_s=dt,
+                iterations=int(res.iterations),
+                converged=bool(res.converged),
+            )
             req.future.set_result(res)
+        self._settle_in_flight(registry, len(live))
         if registry.enabled:
             registry.counter("serve.completed", op=head.op_name).inc(len(live))

@@ -1,0 +1,62 @@
+"""Structured JSON request-lifecycle logs for the solve service.
+
+One JSON object per line on the ``repro.serve`` logger, one line per
+lifecycle transition: ``enqueued``, ``rejected``, ``timeout``,
+``dispatched``, ``completed``, ``failed``.  Every record carries the
+request id, operator name and wall-clock timestamp, so a live service's
+stdout can be tailed or shipped as-is.
+
+Off by default: the logger has no handler and ``log_event`` bails out
+on ``isEnabledFor``, so an unconfigured service pays one boolean check
+per event.  Enable with :func:`configure` (or any standard ``logging``
+configuration that attaches a handler to ``repro.serve``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+LOGGER_NAME = "repro.serve"
+
+logger = logging.getLogger(LOGGER_NAME)
+# lifecycle events are opt-in; never bubble to the root handler
+logger.propagate = False
+logger.setLevel(logging.WARNING)
+
+
+def configure(stream=None, level: int = logging.INFO) -> logging.Logger:
+    """Attach a line handler and enable lifecycle logging.
+
+    Idempotent: reconfiguring replaces the previous handler rather than
+    stacking duplicates.  Returns the logger for further tweaking.
+    """
+    for h in list(logger.handlers):
+        logger.removeHandler(h)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger
+
+
+def disable() -> None:
+    """Remove handlers and silence lifecycle logging again."""
+    for h in list(logger.handlers):
+        logger.removeHandler(h)
+    logger.setLevel(logging.WARNING)
+
+
+def log_event(event: str, **fields) -> None:
+    """Emit one lifecycle record as a single JSON line.
+
+    No-op unless the logger is enabled for INFO, so the service's hot
+    path stays free of serialization work by default.
+    """
+    if not logger.isEnabledFor(logging.INFO):
+        return
+    record = {"event": event, "ts": time.time()}
+    record.update(fields)
+    logger.info(json.dumps(record, sort_keys=True, default=str))

@@ -13,6 +13,7 @@ hot paths pay a single attribute test and no allocation.
 from __future__ import annotations
 
 import math
+import re
 import threading
 from typing import Any
 
@@ -101,25 +102,47 @@ class Histogram:
         with self._lock:
             self.samples.append(float(value))
 
+    def _snapshot(self) -> list[float]:
+        """Consistent copy of the samples (observe() may race a reader)."""
+        with self._lock:
+            return list(self.samples)
+
     @property
     def count(self) -> int:
         return len(self.samples)
 
     @property
     def sum(self) -> float:
-        return float(sum(self.samples))
+        return float(sum(self._snapshot()))
 
     @property
     def mean(self) -> float:
-        return self.sum / self.count if self.samples else 0.0
+        """Arithmetic mean; 0.0 on an empty histogram (never raises)."""
+        samples = self._snapshot()
+        if not samples:
+            return 0.0
+        return float(sum(samples)) / len(samples)
 
     def percentile(self, p: float) -> float:
-        """Linear-interpolated percentile ``p`` in [0, 100]."""
-        if not self.samples:
-            return 0.0
+        """Linear-interpolated percentile ``p`` in [0, 100].
+
+        Edge cases are well-defined: an out-of-range ``p`` raises even
+        when the histogram is empty; an empty histogram returns 0.0; a
+        single sample is every percentile of itself; ``p=0``/``p=100``
+        are the exact min/max.
+        """
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
-        ordered = sorted(self.samples)
+        samples = self._snapshot()
+        if not samples:
+            return 0.0
+        ordered = sorted(samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        if p == 0.0:
+            return ordered[0]
+        if p == 100.0:
+            return ordered[-1]
         rank = (p / 100.0) * (len(ordered) - 1)
         lo = math.floor(rank)
         hi = math.ceil(rank)
@@ -129,20 +152,67 @@ class Histogram:
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
     def to_dict(self) -> dict:
+        samples = self._snapshot()
         return {
             "labels": dict(self.labels),
-            "count": self.count,
-            "sum": self.sum,
+            "count": len(samples),
+            "sum": float(sum(samples)),
             "mean": self.mean,
             "p50": self.percentile(50.0),
             "p90": self.percentile(90.0),
+            "p95": self.percentile(95.0),
             "p99": self.percentile(99.0),
-            "max": max(self.samples) if self.samples else 0.0,
+            "max": max(samples) if samples else 0.0,
         }
 
 
 def _label_key(labels: dict[str, Any]) -> LabelKey:
     return tuple(sorted(labels.items()))
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (format 0.0.4)
+# ----------------------------------------------------------------------
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted metric name into the Prometheus grammar."""
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not _NAME_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def _prom_label_name(name: str) -> str:
+    out = re.sub(r"[^a-zA-Z0-9_]", "_", str(name))
+    if not _LABEL_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(float(value))
+
+
+def _prom_labels(labels: LabelKey, extra: dict[str, str] | None = None) -> str:
+    pairs = [(k, str(v)) for k, v in labels]
+    if extra:
+        pairs.extend(extra.items())
+    if not pairs:
+        return ""
+    rendered = []
+    for key, value in pairs:
+        escaped = value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+        rendered.append(f'{_prom_label_name(key)}="{escaped}"')
+    return "{" + ",".join(rendered) + "}"
 
 
 class MetricsRegistry:
@@ -188,6 +258,42 @@ class MetricsRegistry:
             if m.name == name and m.labels == key_labels and m.kind != "histogram":
                 return m.value
         return 0.0
+
+    def expose_text(self, prefix: str = "repro_") -> str:
+        """Render every metric in the Prometheus text format (0.0.4).
+
+        Dotted names are sanitized (``mg.op_applies`` →
+        ``repro_mg_op_applies``); counters and gauges emit one sample
+        per label set, histograms are exported as Prometheus
+        *summaries*: ``{quantile="0.5|0.9|0.95|0.99"}`` samples plus the
+        ``_sum`` and ``_count`` series.  The output ends with a newline
+        and parses under the exposition grammar (tested against a
+        minimal parser in the test suite) so a scrape endpoint can serve
+        it verbatim.
+        """
+        families: dict[tuple[str, str], list] = {}
+        for m in self.collect():
+            families.setdefault((m.kind, m.name), []).append(m)
+        lines: list[str] = []
+        for (kind, name), metrics in sorted(families.items(), key=lambda kv: kv[0][1]):
+            prom = _prom_name(prefix + name)
+            prom_kind = "summary" if kind == "histogram" else kind
+            lines.append(f"# HELP {prom} {name}")
+            lines.append(f"# TYPE {prom} {prom_kind}")
+            for m in metrics:
+                if kind == "histogram":
+                    for q in (0.5, 0.9, 0.95, 0.99):
+                        value = m.percentile(100.0 * q)
+                        labels = _prom_labels(m.labels, {"quantile": str(q)})
+                        lines.append(f"{prom}{labels} {_prom_value(value)}")
+                    base = _prom_labels(m.labels)
+                    lines.append(f"{prom}_sum{base} {_prom_value(m.sum)}")
+                    lines.append(f"{prom}_count{base} {int(m.count)}")
+                else:
+                    lines.append(
+                        f"{prom}{_prom_labels(m.labels)} {_prom_value(m.value)}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
 
     def snapshot(self) -> dict:
         """JSON-serializable dump grouped by metric kind and name."""

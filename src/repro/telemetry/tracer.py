@@ -43,6 +43,9 @@ class _NullSpan:
     def annotate(self, **attrs) -> "_NullSpan":
         return self
 
+    def attribute(self, flops: float = 0.0, bytes: float = 0.0) -> "_NullSpan":
+        return self
+
 
 _NULL_SPAN = _NullSpan()
 
@@ -91,6 +94,21 @@ class Span:
     def annotate(self, **attrs) -> "Span":
         """Attach attributes to an open span (e.g. iteration counts)."""
         self.attrs.update(attrs)
+        return self
+
+    def attribute(self, flops: float = 0.0, bytes: float = 0.0) -> "Span":
+        """Book a floating-point/memory-traffic cost onto this span.
+
+        Costs accumulate across calls and describe only work performed
+        *directly* in this span (child spans book their own), so the
+        perf layer can pair them with ``self_time_s`` to derive achieved
+        GFLOPS, GB/s, arithmetic intensity and roofline fraction
+        (:mod:`repro.perf.attribution`).
+        """
+        if flops:
+            self.attrs["flops"] = self.attrs.get("flops", 0.0) + float(flops)
+        if bytes:
+            self.attrs["bytes"] = self.attrs.get("bytes", 0.0) + float(bytes)
         return self
 
     @property

@@ -150,6 +150,31 @@ class Transfer:
         return SpinorField(self.fine_lattice, self.prolong(v.data))
 
     # ------------------------------------------------------------------
+    def application_cost(self) -> tuple[float, float]:
+        """``(flops, bytes)`` of one restrict *or* prolong application.
+
+        Both directions read the same per-aggregate bases and stream the
+        fine field once (:class:`repro.gpu.kernels.TransferKernel`, at
+        the complex128 precision this implementation actually moves), so
+        one cost serves both; telemetry attributes the traced
+        ``restrict``/``prolong`` spans with it.
+        """
+        cached = getattr(self, "_application_cost", None)
+        if cached is None:
+            precision_bytes = 8.0
+            fine_volume = self.fine_lattice.volume
+            fine_dof = self.fine_ns * self.fine_nc
+            coarse_dof = self.coarse_ns * self.coarse_nc
+            basis = fine_volume * fine_dof * coarse_dof / 2
+            fine = fine_volume * fine_dof
+            cached = (
+                fine_volume * fine_dof * coarse_dof * 8.0 / 2,
+                (basis + 2 * fine) * 2 * precision_bytes,
+            )
+            self._application_cost = cached
+        return cached
+
+    # ------------------------------------------------------------------
     def orthonormality_violation(self) -> float:
         """Max deviation of ``P^dag P`` from the identity (should be ~eps)."""
         worst = 0.0

@@ -12,6 +12,8 @@ from .datasets import (
     SCALED_FOR_PAPER,
     PaperDataset,
     ScaledDataset,
+    dataset_labels,
+    resolve_scaled_dataset,
 )
 from .paper_reference import FIG2_ANCHORS, POWER_WATTS, TABLE3, PaperRow, table3_rows
 from .presets import PAPER_STRATEGIES, mg_params_for, strategy_nulls, two_level_params
@@ -40,4 +42,6 @@ __all__ = [
     "two_level_params",
     "PropagatorResult",
     "run_propagator",
+    "dataset_labels",
+    "resolve_scaled_dataset",
 ]

@@ -189,3 +189,27 @@ SCALED_DATASETS = {
     d.label: d for d in (ANISO40_SCALED, ISO48_SCALED, ISO64_SCALED)
 }
 SCALED_FOR_PAPER = {d.paper_label: d for d in SCALED_DATASETS.values()}
+
+
+def dataset_labels() -> list[str]:
+    """Every accepted dataset spelling (paper and scaled labels), sorted."""
+    return sorted(SCALED_FOR_PAPER) + sorted(SCALED_DATASETS)
+
+
+def resolve_scaled_dataset(name: str) -> ScaledDataset:
+    """Look up a scaled dataset by paper label (``Aniso40``) or scaled
+    label (``Aniso40-scaled``), case-insensitively.
+
+    Raises ``KeyError`` naming the valid labels — CLI entry points catch
+    it, print the list, and exit 2 instead of dumping a traceback.
+    """
+    lookup: dict[str, ScaledDataset] = {}
+    for ds in SCALED_DATASETS.values():
+        lookup[ds.label.lower()] = ds
+        lookup[ds.paper_label.lower()] = ds
+    found = lookup.get(str(name).lower())
+    if found is None:
+        raise KeyError(
+            f"unknown dataset {name!r}; choose from {dataset_labels()}"
+        )
+    return found

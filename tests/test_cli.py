@@ -105,6 +105,9 @@ class TestCli:
         doc = json.loads(out.read_text())
         assert all(r["name"].startswith("gauge.") for r in doc["reports"])
 
-    def test_check_rejects_unknown_dataset(self):
-        with pytest.raises(KeyError):
+    def test_check_rejects_unknown_dataset(self, capsys):
+        with pytest.raises(SystemExit) as exc:
             main(["check", "NoSuchDataset", "--max-needs", "gauge"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown dataset" in err and "valid datasets" in err

@@ -71,6 +71,19 @@ class TestTracer:
                 pass
         assert [r.name for r in tr.roots] == ["first", "second", "third"]
 
+    def test_attribute_accumulates_costs(self):
+        tr = Tracer(enabled=True)
+        with tr.span("kernel") as sp:
+            assert sp.attribute(flops=100.0, bytes=200.0) is sp
+            sp.attribute(flops=50.0)
+        assert tr.roots[0].attrs["flops"] == 150.0
+        assert tr.roots[0].attrs["bytes"] == 200.0
+
+    def test_attribute_on_null_span_is_noop(self):
+        tr = Tracer(enabled=False)
+        sp = tr.span("hot")
+        assert sp.attribute(flops=1e9, bytes=1e9) is sp
+
     def test_disabled_returns_shared_null_span(self):
         tr = Tracer(enabled=False)
         s1 = tr.span("hot", level=3)
@@ -139,6 +152,37 @@ class TestMetrics:
         assert h.percentile(90) == pytest.approx(90.1)
         with pytest.raises(ValueError):
             h.percentile(101)
+
+    def test_histogram_empty_edge_cases(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("empty")
+        assert h.count == 0
+        assert h.sum == 0.0
+        assert h.mean == 0.0  # not NaN, not ZeroDivisionError
+        assert h.percentile(0) == 0.0
+        assert h.percentile(50) == 0.0
+        assert h.percentile(100) == 0.0
+        # invalid p raises even when empty
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+        with pytest.raises(ValueError):
+            h.percentile(100.1)
+
+    def test_histogram_single_sample(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("one")
+        h.observe(42.0)
+        for p in (0, 25, 50, 99, 100):
+            assert h.percentile(p) == 42.0
+        assert h.mean == 42.0
+
+    def test_histogram_p0_p100_are_min_max(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("bounds")
+        for v in (7.0, 3.0, 9.0, 5.0):
+            h.observe(v)
+        assert h.percentile(0) == 3.0
+        assert h.percentile(100) == 9.0
 
     def test_disabled_registry_hands_out_null_metric(self):
         reg = MetricsRegistry(enabled=False)
@@ -343,6 +387,63 @@ class TestSolverIntegration:
             e["value"]
             for e in reg.snapshot()["counter"].get("mg.op_applies", [])
         ) > 0
+
+    def test_measured_solve_round_trips_through_disk(
+        self, enabled_telemetry, tmp_path
+    ):
+        """telemetry/v1 survives write→load→validate on a *real* solve.
+
+        The synthetic round-trip in ``TestExport`` checks the envelope;
+        this one checks that everything a measured MG solve produces —
+        nested spans, perf attribution, metric families — lands intact
+        after a trip through the JSON file format.
+        """
+        from tests.conftest import random_spinor
+        from repro.lattice import Lattice
+
+        mg = self._mg_solver()
+        mg.solve(random_spinor(Lattice((4, 4, 4, 4)), seed=7))
+
+        from repro.perf.attribution import attribute_trace
+
+        attributed = attribute_trace(trace_document(meta={"dataset": "unit-4^4"}))
+        path = tmp_path / "measured.json"
+        path.write_text(json.dumps(attributed, sort_keys=True))
+        doc = load_trace(path)
+        validate_trace(doc)
+
+        assert doc["meta"]["dataset"] == "unit-4^4"
+        flat: list[dict] = []
+
+        def walk(spans):
+            for s in spans:
+                flat.append(s)
+                walk(s["children"])
+
+        walk(doc["spans"])
+        names = {s["name"] for s in flat}
+        assert {"mg.setup", "mg.solve", "smoother", "coarse-solve"} <= names
+        costed = [s for s in flat if "flops" in s.get("attrs", {})]
+        assert costed, "no span carried perf attribution through the disk trip"
+        for s in costed:
+            for key in ("gflops", "gbs", "arithmetic_intensity", "roofline_fraction"):
+                assert key in s["attrs"], f"{s['name']} lost {key}"
+        assert any(
+            e["value"] > 0
+            for e in doc["metrics"]["counter"].get("mg.op_applies", [])
+        )
+        # durations survive as floats, not strings
+        assert all(isinstance(s["duration_s"], float) for s in flat)
+
+        # and the loader rejects the same document once mangled
+        bad = load_trace(path)
+        bad["schema"] = "repro.telemetry/v0"
+        with pytest.raises(ValueError):
+            validate_trace(bad)
+        bad2 = load_trace(path)
+        bad2["spans"][0].pop("duration_s")
+        with pytest.raises(ValueError):
+            validate_trace(bad2)
 
     def test_disabled_telemetry_records_nothing_during_solve(self):
         telemetry.disable()
