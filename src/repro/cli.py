@@ -9,8 +9,12 @@ Usage::
     python -m repro.cli fig3   [--mode replay|measured]
     python -m repro.cli fig4   [--mode replay|measured]
     python -m repro.cli all    [--mode replay]
-    python -m repro.cli trace  [dataset] [--telemetry out.json]
+    python -m repro.cli trace  [dataset] [--telemetry out.json] [--otlp out.otlp.json]
+                               [--convergence]
     python -m repro.cli serve-bench [dataset] [--batch-sizes 1,4,8,16] [--requests N]
+                               [--metrics-out FILE] [--blackbox-out DIR]
+    python -m repro.cli blackbox [path] [--events N]
+    python -m repro.cli top    [dataset] [--interval S] [--frames N]
     python -m repro.cli check  [dataset] [--json out.json] [--strategy 24/24]
                                [--invariants a,b,...] [--max-needs TIER]
     python -m repro.cli bench  run [--suite quick|full] | list
@@ -43,10 +47,23 @@ service).
 ``trace`` runs one measured multigrid solve on a scaled dataset with
 full telemetry enabled and exports the JSON trace document (nested
 spans for setup/smoother/restrict/prolong/coarse-solve plus per-level
-metrics).  Measured-mode artifacts accept ``--telemetry FILE`` to
-export the trace of their solves; with ``--out DIR`` the trace is
-persisted to ``DIR/trace.json`` automatically instead of being
-discarded after rendering.
+metrics).  ``--otlp FILE`` additionally exports the same span tree in
+OTLP-JSON shape for standard tracing backends; ``--convergence``
+renders the per-level convergence-history tables extracted from the
+iteration event streams.  Measured-mode artifacts accept
+``--telemetry FILE`` to export the trace of their solves; with
+``--out DIR`` the trace is persisted to ``DIR/trace.json``
+automatically instead of being discarded after rendering.
+
+``blackbox`` inspects flight-recorder postmortem dumps
+(``repro.blackbox/v1``): pointed at a directory it lists the dumps,
+pointed at a file it renders the incident timeline (``--events N``
+controls how much of the tail is shown).
+
+``top`` drives a demo service under synthetic load and renders a live
+terminal dashboard (throughput, latency quantiles, queue depth, cache
+hit rate, SLO burn rates); ``--frames N`` renders a fixed number of
+frames and exits, for non-interactive use.
 """
 
 from __future__ import annotations
@@ -58,7 +75,7 @@ from . import telemetry
 
 ARTIFACTS = [
     "table1", "table2", "table3", "fig2", "fig3", "fig4", "all", "trace",
-    "serve-bench", "check",
+    "serve-bench", "check", "blackbox", "top",
 ]
 
 # command groups routed to the perf CLI (repro.perf.cli)
@@ -131,6 +148,50 @@ def run_trace(dataset: str, verbose: bool = True) -> dict:
         print()
         print(roofline_table(aggregate_level_costs(doc["spans"])))
     return doc
+
+
+def main_blackbox(args) -> int:
+    """List or render repro.blackbox/v1 postmortem dumps.
+
+    The (reused) dataset positional is a path here: a directory lists
+    its dumps newest-first, a file renders the full incident view.
+    With no path given, the current directory is listed.
+    """
+    import sys
+
+    from .obs.blackbox import load_blackbox, render_blackbox
+
+    # the positional defaults to a dataset label; for blackbox it is a
+    # filesystem path, so the untouched default means "look here"
+    raw = args.dataset if args.dataset != "Aniso40" else "."
+    path = pathlib.Path(raw)
+    if path.is_dir():
+        dumps = sorted(path.glob("blackbox-*.json"), reverse=True)
+        if not dumps:
+            print(f"no blackbox dumps under {path}/")
+            return 0
+        print(f"{len(dumps)} blackbox dump(s) under {path}/ (newest first):")
+        for p in dumps:
+            try:
+                doc = load_blackbox(p)
+            except (OSError, ValueError) as exc:
+                print(f"  {p.name}  [unreadable: {exc}]")
+                continue
+            print(
+                f"  {p.name}  reason={doc['reason']}  "
+                f"trace={doc.get('trace_id') or '-'}  {doc['ts_iso']}"
+            )
+        return 0
+    if not path.is_file():
+        print(f"error: no such file or directory: {path}", file=sys.stderr)
+        return 2
+    try:
+        doc = load_blackbox(path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_blackbox(doc, last_events=args.events))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -211,7 +272,62 @@ def main(argv: list[str] | None = None) -> int:
         default="solve",
         help="most expensive context tier 'check' may use (default solve)",
     )
+    parser.add_argument(
+        "--otlp",
+        default=None,
+        metavar="FILE",
+        help="also export the 'trace' span tree as OTLP JSON to FILE",
+    )
+    parser.add_argument(
+        "--convergence",
+        action="store_true",
+        help="render per-level convergence-history tables from the "
+        "'trace' iteration event streams",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="serve-bench: write the final Prometheus metrics snapshot "
+        "(text exposition, with exemplars) to FILE",
+    )
+    parser.add_argument(
+        "--blackbox-out",
+        default=None,
+        metavar="DIR",
+        help="serve-bench: persist any postmortem blackbox dumps to DIR",
+    )
+    parser.add_argument(
+        "--events",
+        type=int,
+        default=20,
+        help="blackbox: flight-recorder events to show from the tail "
+        "(default 20)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="top: seconds between dashboard refreshes (default 1.0)",
+    )
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=0,
+        help="top: render N frames then exit (default 0 = until interrupted)",
+    )
     args = parser.parse_args(argv)
+
+    if args.artifact == "blackbox":
+        return main_blackbox(args)
+
+    if args.artifact == "top":
+        from .obs.top import run_top
+
+        dataset = resolve_dataset(args.dataset)
+        return run_top(
+            dataset, interval_s=args.interval, frames=args.frames
+        )
 
     if args.artifact == "check":
         from .verify.runner import main_check
@@ -231,9 +347,13 @@ def main(argv: list[str] | None = None) -> int:
             batch_sizes=batch_sizes,
             n_requests=args.requests,
             verbose=True,
+            metrics_out=args.metrics_out,
+            blackbox_dir=args.blackbox_out,
         )
         print()
         print(render_table(doc))
+        if args.metrics_out is not None:
+            print(f"\nmetrics snapshot written to {args.metrics_out}")
         if args.out is not None:
             out_dir = pathlib.Path(args.out)
             out_dir.mkdir(parents=True, exist_ok=True)
@@ -244,6 +364,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.artifact == "trace":
         doc = run_trace(args.dataset)
+        if args.convergence:
+            from .obs.convergence import convergence_report
+
+            print()
+            print(convergence_report(doc["spans"]))
         path = args.telemetry
         if path is None:
             out_dir = pathlib.Path(args.out) if args.out else pathlib.Path(".")
@@ -254,6 +379,11 @@ def main(argv: list[str] | None = None) -> int:
 
         out.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
         print(f"\ntrace written to {out}")
+        if args.otlp is not None:
+            from .telemetry import write_otlp
+
+            write_otlp(args.otlp, doc)
+            print(f"OTLP trace written to {args.otlp}")
         return 0
 
     # Measured-mode solve traces used to be discarded after rendering;

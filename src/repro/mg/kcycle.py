@@ -157,6 +157,12 @@ class KCyclePreconditioner:
             stats.gcr_iters += res.iterations
             stats.reductions += gcr_reductions(res.iterations, cp.nkrylov)
             self._attribute_matvecs(span, coarse, res.matvecs)
+            if span is not None:
+                span.annotate(
+                    coarse_iterations=res.iterations,
+                    coarse_converged=res.converged,
+                    coarse_residual=res.final_residual,
+                )
             ec = res.x
         else:
             # V- or W-cycle: apply the next level's cycle directly as an
@@ -216,6 +222,12 @@ class KCyclePreconditioner:
         stats.reductions += gcr_reductions(res.iterations, nk)
         extra = 2 if params.coarsest_schur else 0  # source prep + reconstruct
         self._attribute_matvecs(span, coarse, res.matvecs + extra)
+        if span is not None:
+            span.annotate(
+                coarse_iterations=res.iterations,
+                coarse_converged=res.converged,
+                coarse_residual=res.final_residual,
+            )
         return ec
 
     def _wrap_precision(self, op):

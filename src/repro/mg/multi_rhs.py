@@ -20,6 +20,7 @@ import numpy as np
 
 from ..dirac.mrhs import batched_schur_for
 from ..solvers.base import SolveResult
+from ..telemetry.tracer import Span, get_tracer
 from .hierarchy import MultigridHierarchy
 
 
@@ -141,45 +142,70 @@ def batched_mg_solve(
     wnorm2: list[np.ndarray] = []
     it = 0
     matvec_batches = 0
-    while it < maxiter and active.any():
-        if len(zs_list) == nkrylov:
-            zs_list.clear()
-            ws_list.clear()
-            wnorm2.clear()
-        z = pre.apply_multi(rs)
-        w = op.apply_multi(z)
-        matvec_batches += 1
-        for zi, wi, wn in zip(zs_list, ws_list, wnorm2):
-            proj = _bdot(wi, w) / wn
-            w -= _bshape(proj, w) * wi
-            z -= _bshape(proj, z) * zi
-        wn = np.real(_bdot(w, w))
-        safe = np.where(wn > 0, wn, 1.0)
-        alpha = _bdot(w, rs) / safe
-        alpha = np.where(active & (wn > 0), alpha, 0.0)
-        xs += _bshape(alpha, xs) * z
-        rs -= _bshape(alpha, rs) * w
-        zs_list.append(z)
-        ws_list.append(w)
-        wnorm2.append(safe)
-        it += 1
-        rnorms = np.sqrt(np.real(_bdot(rs, rs)))
-        for i in range(k):
-            if active[i]:
-                iters[i] = it
-                histories[i].append(rnorms[i] / bnorms[i])
-        active = active & ~(rnorms < targets)
+    tracer = get_tracer()
+    with tracer.span("mg.batched_solve", n_rhs=k, tol=tol) as sp:
+        while it < maxiter and active.any():
+            if len(zs_list) == nkrylov:
+                zs_list.clear()
+                ws_list.clear()
+                wnorm2.clear()
+            z = pre.apply_multi(rs)
+            w = op.apply_multi(z)
+            matvec_batches += 1
+            for zi, wi, wn in zip(zs_list, ws_list, wnorm2):
+                proj = _bdot(wi, w) / wn
+                w -= _bshape(proj, w) * wi
+                z -= _bshape(proj, z) * zi
+            wn = np.real(_bdot(w, w))
+            safe = np.where(wn > 0, wn, 1.0)
+            alpha = _bdot(w, rs) / safe
+            alpha = np.where(active & (wn > 0), alpha, 0.0)
+            xs += _bshape(alpha, xs) * z
+            rs -= _bshape(alpha, rs) * w
+            zs_list.append(z)
+            ws_list.append(w)
+            wnorm2.append(safe)
+            it += 1
+            rnorms = np.sqrt(np.real(_bdot(rs, rs)))
+            for i in range(k):
+                if active[i]:
+                    iters[i] = it
+                    histories[i].append(rnorms[i] / bnorms[i])
+            active = active & ~(rnorms < targets)
 
-    out = []
-    for i in range(k):
-        converged = (
-            histories[i][-1] * bnorms[i] <= targets[i] if bnorms[i] > 0 else True
-        )
-        out.append(
-            SolveResult(
+        out = []
+        if isinstance(sp, Span):
+            # one convergence event stream per system, on a child span,
+            # so `repro trace --convergence` and blackbox dumps see the
+            # batched path's per-iteration residuals like any Krylov
+            # driver's (the stream is bounded by the span event budget)
+            from ..obs.convergence import record_convergence
+
+            sp.annotate(iterations=int(iters.max(initial=0)),
+                        matvec_batches=matvec_batches)
+            for i in range(k):
+                with tracer.span("mg.batched_solve.rhs", system=i) as child:
+                    record_convergence(child, histories[i])
+                    child.annotate(iterations=int(iters[i]))
+        for i in range(k):
+            converged = (
+                histories[i][-1] * bnorms[i] <= targets[i]
+                if bnorms[i] > 0
+                else True
+            )
+            res = SolveResult(
                 xs[i], bool(converged), int(iters[i]), histories[i][-1],
                 histories[i], matvec_batches,
                 extra={"matvec_batches": matvec_batches, "n_rhs": k},
             )
-        )
+            if isinstance(sp, Span):
+                # all K results belong to the batch span's trace; the
+                # serve tier activates the head request's context around
+                # this call, so this is the request trace end to end
+                res.telemetry.attrs["trace_id"] = sp.trace_id
+            out.append(res)
+    if isinstance(sp, Span):
+        serialized = sp.to_dict()
+        for res in out:
+            res.telemetry.spans = [serialized]
     return out

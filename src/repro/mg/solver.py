@@ -124,7 +124,11 @@ class MultigridSolver:
         tele.attrs["level_stats"] = snapshot
         tele.attrs["subspace"] = self.params.subspace_label()
         tele.metrics["outer_iterations"] = float(result.iterations)
+        tele.metrics["final_residual"] = float(result.final_residual)
         if isinstance(sp, Span):
+            # the request trace this solve belongs to (serve propagation);
+            # lets slog/blackbox consumers join on the result alone
+            tele.attrs["trace_id"] = sp.trace_id
             tele.spans = [sp.to_dict()]
         registry = get_registry()
         if registry.enabled:
@@ -135,6 +139,11 @@ class MultigridSolver:
             registry.counter(
                 "mg.outer_iterations", subspace=self.params.subspace_label()
             ).inc(result.iterations)
+            if not result.converged:
+                registry.counter(
+                    "mg.convergence_failures",
+                    subspace=self.params.subspace_label(),
+                ).inc()
             for lev in self.hierarchy.levels:
                 lev.stats.publish(registry, lev.index)
 

@@ -1,0 +1,81 @@
+"""End-to-end solve observability: what happens when things go wrong.
+
+:mod:`repro.telemetry` (PR 1) and :mod:`repro.perf` (PR 4) made a
+*healthy* solve legible.  This package is the failure-path complement —
+the substrate a production serve tier debugs itself with:
+
+* :mod:`~repro.obs.convergence` — per-iteration residual event streams
+  on solver spans, plus a plateau/stall/divergence detector that works
+  on any residual history with telemetry off;
+* :mod:`~repro.obs.blackbox` — an always-on flight recorder (bounded
+  ring buffer of recent events) and the ``repro.blackbox/v1`` dump the
+  serve tier writes on timeout, failure or detected stall;
+* :mod:`~repro.obs.slo` — declarative SLO specs evaluated over sliding
+  windows with burn-rate alerting into the structured log;
+* :mod:`~repro.obs.top` — the ``repro top`` live dashboard over
+  metrics-registry snapshots.
+
+Everything here consumes the trace context of
+:mod:`repro.telemetry.context`: one ``trace_id`` generated at serve
+ingress connects a request's slog lifecycle, its span tree, its
+convergence events, its metric exemplars and its blackbox dump.
+"""
+
+from __future__ import annotations
+
+from .blackbox import (
+    BLACKBOX_SCHEMA,
+    FlightRecorder,
+    blackbox_document,
+    get_recorder,
+    load_blackbox,
+    render_blackbox,
+    validate_blackbox,
+    write_blackbox,
+)
+from .convergence import (
+    DEFAULT_DETECTOR,
+    ConvergenceVerdict,
+    DetectorConfig,
+    collect_convergence_series,
+    convergence_report,
+    detect_anomalies,
+    record_convergence,
+    subsample_history,
+)
+from .slo import (
+    DEFAULT_SLOS,
+    RequestOutcome,
+    SLOMonitor,
+    SLOSpec,
+    SLOStatus,
+    render_slo_table,
+)
+from .top import Dashboard, run_top
+
+__all__ = [
+    "BLACKBOX_SCHEMA",
+    "ConvergenceVerdict",
+    "DEFAULT_DETECTOR",
+    "DEFAULT_SLOS",
+    "Dashboard",
+    "DetectorConfig",
+    "FlightRecorder",
+    "RequestOutcome",
+    "SLOMonitor",
+    "SLOSpec",
+    "SLOStatus",
+    "blackbox_document",
+    "collect_convergence_series",
+    "convergence_report",
+    "detect_anomalies",
+    "get_recorder",
+    "load_blackbox",
+    "record_convergence",
+    "render_blackbox",
+    "render_slo_table",
+    "run_top",
+    "subsample_history",
+    "validate_blackbox",
+    "write_blackbox",
+]

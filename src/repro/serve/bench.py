@@ -16,6 +16,8 @@ import time
 import numpy as np
 
 from ..dirac import WilsonCloverOperator
+from ..obs.slo import DEFAULT_SLOS, render_slo_table
+from ..telemetry.metrics import get_registry
 from ..workloads.datasets import ANISO40_SCALED, ScaledDataset
 from ..workloads.presets import two_level_params
 from .cache import SetupCache
@@ -39,6 +41,9 @@ def run_serve_bench(
     setup_seed: int = 7,
     max_wait_s: float = 0.05,
     verbose: bool = False,
+    slo_specs: tuple = DEFAULT_SLOS,
+    metrics_out: str | None = None,
+    blackbox_dir: str | None = None,
 ) -> dict:
     """Measure service throughput versus ``max_batch`` on one dataset.
 
@@ -47,6 +52,13 @@ def run_serve_bench(
     cache, so only the first configuration pays the adaptive setup and
     the comparison isolates the batching effect.  Returns a JSON-safe
     document (schema ``repro.serve-bench/v1``).
+
+    Each run is measured against ``slo_specs`` (the defaults unless
+    overridden; pass an empty tuple to disable) and the final document
+    carries per-batch-size SLO verdicts.  ``metrics_out`` writes the
+    registry's final Prometheus exposition snapshot — enabling the
+    registry for the duration if needed; ``blackbox_dir`` persists any
+    postmortem dumps the runs produce.
     """
     lattice = dataset.lattice()
     op = WilsonCloverOperator(dataset.gauge(), **dataset.operator_kwargs())
@@ -57,6 +69,10 @@ def run_serve_bench(
     shape = (n_requests, lattice.volume, 4, 3)
     sources = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
 
+    registry = get_registry()
+    force_metrics = metrics_out is not None and not registry.enabled
+    if force_metrics:
+        registry.enabled = True
     cache = SetupCache()
     rows: list[dict] = []
     reference: np.ndarray | None = None
@@ -66,6 +82,8 @@ def run_serve_bench(
             max_wait_s=max_wait_s,
             queue_capacity=max(2 * n_requests, 8),
             n_workers=1,
+            slo_specs=tuple(slo_specs),
+            blackbox_dir=blackbox_dir,
         )
         with SolveService(config, cache=cache) as svc:
             svc.register(
@@ -106,6 +124,12 @@ def run_serve_bench(
             "batches": svc.stats["batches"],
             "max_dev_vs_batch1": max_dev,
         }
+        if svc.slo_monitor is not None:
+            statuses = svc.slo_monitor.evaluate()
+            row["slo"] = [s.to_dict() for s in statuses]
+            row["slo_compliant"] = all(s.compliant for s in statuses)
+        if svc.stats["blackbox_dumps"]:
+            row["blackbox_dumps"] = svc.stats["blackbox_dumps"]
         rows.append(row)
         if verbose:
             print(
@@ -130,6 +154,20 @@ def run_serve_bench(
         },
         "setup_cache": dict(cache.stats),
     }
+    if slo_specs:
+        doc["slo_specs"] = [s.to_dict() for s in slo_specs]
+        doc["slo_compliant"] = all(
+            r.get("slo_compliant", True) for r in rows
+        )
+    if metrics_out is not None:
+        import pathlib
+
+        out = pathlib.Path(metrics_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(registry.expose_text(exemplars=True))
+        doc["metrics_out"] = str(out)
+        if force_metrics:
+            registry.enabled = False
     return doc
 
 
@@ -155,4 +193,32 @@ def render_table(doc: dict) -> str:
         f"setup cache: {cache['hits']} hits, {cache['misses']} misses, "
         f"{cache['evictions']} evictions"
     )
+    if "slo_compliant" in doc:
+        from ..obs.slo import SLOSpec, SLOStatus
+
+        # the worst row per spec (highest burn) summarizes the sweep
+        worst: dict[str, dict] = {}
+        for row in doc["rows"]:
+            for status in row.get("slo", []):
+                name = status["spec"]["name"]
+                if (
+                    name not in worst
+                    or status["burn_rate"] > worst[name]["burn_rate"]
+                ):
+                    worst[name] = status
+        statuses = [
+            SLOStatus(
+                SLOSpec(**s["spec"]), s["n"], s["bad"], s["measured"],
+                s["compliant"], s["burn_rate"],
+            )
+            for s in worst.values()
+        ]
+        lines.append("")
+        lines.append(
+            render_slo_table(
+                statuses,
+                title="SLO compliance (worst across batch sizes): "
+                + ("PASS" if doc["slo_compliant"] else "BREACH"),
+            )
+        )
     return "\n".join(lines)

@@ -38,7 +38,11 @@ from ..dirac.mrhs import supports_batched_schur
 from ..mg.multi_rhs import batched_mg_solve
 from ..mg.params import MGParams
 from ..mg.solver import MultigridSolver
+from ..obs.blackbox import blackbox_document, write_blackbox
+from ..obs.convergence import detect_anomalies
+from ..obs.slo import SLOMonitor
 from ..solvers.base import SolveResult
+from ..telemetry.context import TraceContext, activate, current_trace_id, new_trace_id
 from ..telemetry.metrics import get_registry
 from ..telemetry.tracer import get_tracer
 from .cache import SetupCache
@@ -70,6 +74,15 @@ class ServeConfig:
     # setup-output invariants of every registered hierarchy, "solve"
     # additionally recomputes each delivered result's residual.
     verify_level: str = "off"
+    # Postmortem capture: on timeout, failure or detected stall the
+    # service assembles a repro.blackbox/v1 dump (always kept in memory
+    # as ``service.last_blackbox``); a directory here persists each dump
+    # to disk for `repro blackbox`.
+    blackbox_dir: str | None = None
+    # Declarative SLOs (repro.obs.slo.SLOSpec); non-empty installs an
+    # SLOMonitor fed per finished request, with burn-rate alerts into
+    # the structured log.
+    slo_specs: tuple = ()
 
     def __post_init__(self):
         from ..verify.runtime import validate_level
@@ -94,6 +107,7 @@ class _Request:
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.perf_counter)
     id: int = 0
+    trace_id: str = ""  # generated at ingress, threads every stream
 
     def expired(self, now: float) -> bool:
         return self.timeout_s is not None and now - self.enqueued_at > self.timeout_s
@@ -144,7 +158,15 @@ class SolveService:
             "batched_systems": 0,
             "verify_checks": 0,
             "verify_failures": 0,
+            "stalls_detected": 0,
+            "blackbox_dumps": 0,
         }
+        self.slo_monitor = (
+            SLOMonitor(self.config.slo_specs) if self.config.slo_specs else None
+        )
+        #: most recent repro.blackbox/v1 document (postmortem state even
+        #: when no blackbox_dir is configured)
+        self.last_blackbox: dict | None = None
         self._in_flight = 0
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.n_workers, thread_name_prefix="serve-worker"
@@ -210,8 +232,14 @@ class SolveService:
         and :class:`ServiceClosedError` after shutdown.  ``timeout_s``
         bounds the time the request may wait before its batch starts;
         expired requests fail with :class:`SolveTimeoutError`.
+
+        This is the trace ingress: each request gets a ``trace_id``
+        here (inheriting the caller's active trace context if one is
+        open) that then rides the queue, the batch, the solve spans,
+        every slog record and the metric exemplars of this request.
         """
         registry = get_registry()
+        trace_id = current_trace_id() or new_trace_id()
         with self._cond:
             if self._closed:
                 raise ServiceClosedError("service is closed")
@@ -225,7 +253,10 @@ class SolveService:
                 if registry.enabled:
                     registry.counter("serve.rejected", op=op_name).inc()
                 log_event(
-                    "rejected", op=op_name, queue_depth=len(self._pending)
+                    "rejected",
+                    op=op_name,
+                    queue_depth=len(self._pending),
+                    trace_id=trace_id,
                 )
                 raise ServiceOverloadedError(
                     f"queue full ({self.config.queue_capacity} pending)"
@@ -236,6 +267,7 @@ class SolveService:
                 tol=tol if tol is not None else entry.params.outer_tol,
                 timeout_s=timeout_s,
                 id=next(self._ids),
+                trace_id=trace_id,
             )
             self._pending.append(req)
             self.stats["submitted"] += 1
@@ -249,6 +281,7 @@ class SolveService:
             op=op_name,
             tol=req.tol,
             queue_depth=len(self._pending),
+            trace_id=req.trace_id,
         )
         return req.future
 
@@ -377,12 +410,27 @@ class SolveService:
                     request_id=req.id,
                     op=req.op_name,
                     waited_s=now - req.enqueued_at,
+                    trace_id=req.trace_id,
                 )
+                if self.slo_monitor is not None:
+                    self.slo_monitor.record(
+                        now - req.enqueued_at, timed_out=True
+                    )
                 req.future.set_exception(
                     SolveTimeoutError(
                         f"request {req.id} waited "
                         f"{now - req.enqueued_at:.3f}s > {req.timeout_s}s"
                     )
+                )
+                self._dump_blackbox(
+                    "timeout",
+                    trace_id=req.trace_id,
+                    meta={
+                        "request_id": req.id,
+                        "op": req.op_name,
+                        "waited_s": now - req.enqueued_at,
+                        "timeout_s": req.timeout_s,
+                    },
                 )
             elif req.future.set_running_or_notify_cancel():
                 live.append(req)
@@ -415,13 +463,25 @@ class SolveService:
             batch_size=len(live),
             mode="batched" if batched else "sequential",
             in_flight=in_flight,
+            trace_id=head.trace_id,
+            trace_ids=[req.trace_id for req in live],
         )
         try:
-            with get_tracer().span(
+            # The worker thread adopts the batch head's trace context:
+            # every span the solve opens (mg.solve, kcycle, halo, ...)
+            # inherits its trace_id, and the batch span links the other
+            # coalesced traces explicitly.
+            head_ctx = TraceContext(
+                trace_id=head.trace_id,
+                attrs={"request_id": head.id, "op": head.op_name},
+            )
+            with activate(head_ctx), get_tracer().span(
                 "serve.batch",
                 op=head.op_name,
                 size=len(live),
                 mode="batched" if batched else "sequential",
+                request_ids=[req.id for req in live],
+                trace_ids=[req.trace_id for req in live],
             ):
                 t0 = time.perf_counter()
                 if batched:
@@ -445,10 +505,25 @@ class SolveService:
                 op=head.op_name,
                 request_ids=[req.id for req in live],
                 error=repr(exc),
+                trace_id=head.trace_id,
+                trace_ids=[req.trace_id for req in live],
             )
+            if self.slo_monitor is not None:
+                now = time.perf_counter()
+                for req in live:
+                    self.slo_monitor.record(now - req.enqueued_at, error=True)
             for req in live:
                 if not req.future.done():
                     req.future.set_exception(exc)
+            self._dump_blackbox(
+                "failure",
+                trace_id=head.trace_id,
+                meta={
+                    "op": head.op_name,
+                    "error": repr(exc),
+                    "request_ids": [req.id for req in live],
+                },
+            )
             return
         if registry.enabled:
             registry.histogram("serve.solve_s", op=head.op_name).observe(dt)
@@ -466,10 +541,18 @@ class SolveService:
         for req, res in zip(live, results):
             self.stats["completed"] += 1
             latency = done - req.enqueued_at
+            # each result carries its own request's trace; the batch ran
+            # under the head's context, which stays visible alongside
+            batch_tid = res.telemetry.attrs.get("trace_id")
+            if batch_tid is not None and batch_tid != req.trace_id:
+                res.telemetry.attrs["batch_trace_id"] = batch_tid
+            res.telemetry.attrs["trace_id"] = req.trace_id
             if registry.enabled:
+                # the exemplar ties this latency sample back to the
+                # request's span tree and slog records
                 registry.histogram(
                     "serve.request_latency_s", op=req.op_name
-                ).observe(latency)
+                ).observe(latency, trace_id=req.trace_id)
             log_event(
                 "completed",
                 request_id=req.id,
@@ -478,8 +561,89 @@ class SolveService:
                 solve_s=dt,
                 iterations=int(res.iterations),
                 converged=bool(res.converged),
+                trace_id=req.trace_id,
             )
+            if self.slo_monitor is not None:
+                self.slo_monitor.record(
+                    latency, converged=bool(res.converged)
+                )
+            self._check_stall(req, res)
             req.future.set_result(res)
         self._settle_in_flight(registry, len(live))
         if registry.enabled:
             registry.counter("serve.completed", op=head.op_name).inc(len(live))
+        if self.slo_monitor is not None:
+            self.slo_monitor.evaluate()
+
+    # -- postmortem -----------------------------------------------------
+    def _check_stall(self, req: _Request, res: SolveResult) -> None:
+        """Run the convergence detector over a delivered result.
+
+        Works from the result's residual history directly, so stalls
+        are caught even with the tracer off.  Error-severity verdicts
+        (stall/divergence) trigger a blackbox dump; plateaus only count.
+        """
+        history = getattr(res, "residual_history", None)
+        if not history or len(history) < 2:
+            return
+        verdicts = detect_anomalies(history)
+        severe = [v for v in verdicts if v.severity == "error"]
+        if not severe:
+            return
+        self.stats["stalls_detected"] += len(severe)
+        registry = get_registry()
+        if registry.enabled:
+            for v in severe:
+                registry.counter(
+                    "serve.stalls", op=req.op_name, kind=v.kind
+                ).inc()
+        log_event(
+            "stall",
+            request_id=req.id,
+            op=req.op_name,
+            kinds=[v.kind for v in severe],
+            trace_id=req.trace_id,
+        )
+        self._dump_blackbox(
+            "stall",
+            trace_id=req.trace_id,
+            meta={
+                "request_id": req.id,
+                "op": req.op_name,
+                "verdicts": [v.to_dict() for v in severe],
+            },
+        )
+
+    def _dump_blackbox(
+        self, reason: str, trace_id: str | None = None, meta: dict | None = None
+    ) -> dict:
+        """Assemble a repro.blackbox/v1 postmortem document.
+
+        The dump is always retained in memory as ``self.last_blackbox``;
+        when ``config.blackbox_dir`` is set it is also written to disk
+        (one JSON file per incident) for ``repro blackbox``.  Capture
+        must never take the service down, so disk errors are folded into
+        the log stream instead of raised.
+        """
+        doc = blackbox_document(reason, trace_id=trace_id, meta=meta)
+        self.last_blackbox = doc
+        with self._cond:
+            self.stats["blackbox_dumps"] += 1
+        path = None
+        if self.config.blackbox_dir is not None:
+            try:
+                path = write_blackbox(self.config.blackbox_dir, doc)
+            except OSError as exc:
+                log_event(
+                    "blackbox_write_failed",
+                    reason=reason,
+                    error=repr(exc),
+                    trace_id=trace_id,
+                )
+        log_event(
+            "blackbox_dump",
+            reason=reason,
+            trace_id=trace_id,
+            path=str(path) if path is not None else None,
+        )
+        return doc

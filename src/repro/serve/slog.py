@@ -2,14 +2,24 @@
 
 One JSON object per line on the ``repro.serve`` logger, one line per
 lifecycle transition: ``enqueued``, ``rejected``, ``timeout``,
-``dispatched``, ``completed``, ``failed``.  Every record carries the
-request id, operator name and wall-clock timestamp, so a live service's
-stdout can be tailed or shipped as-is.
+``dispatched``, ``completed``, ``failed`` (plus ``slo_alert`` /
+``slo_recovered`` from the SLO monitor and ``blackbox_dump`` markers).
+Every record carries the event name, an epoch ``ts`` *and* its
+human-readable ISO-8601 ``ts_iso``, and — whenever a request trace is
+active on the thread or passed explicitly — the ``trace_id``, so log
+lines are greppable against span trees and blackbox dumps.
 
-Off by default: the logger has no handler and ``log_event`` bails out
-on ``isEnabledFor``, so an unconfigured service pays one boolean check
-per event.  Enable with :func:`configure` (or any standard ``logging``
-configuration that attaches a handler to ``repro.serve``).
+Two sinks, different defaults:
+
+* The **flight recorder** (:mod:`repro.obs.blackbox`) is fed
+  *unconditionally*: one dict build and one ring append per event, so
+  postmortem dumps always have the recent lifecycle history even when
+  nobody configured logging.
+* The **logger** is opt-in as before: it has no handler and
+  ``log_event`` skips serialization on ``isEnabledFor``, so an
+  unconfigured service pays no JSON cost.  Enable with
+  :func:`configure` (or any standard ``logging`` configuration that
+  attaches a handler to ``repro.serve``).
 """
 
 from __future__ import annotations
@@ -18,6 +28,9 @@ import json
 import logging
 import sys
 import time
+
+from ..obs.blackbox import get_recorder, iso_ts
+from ..telemetry.context import current_trace_id
 
 LOGGER_NAME = "repro.serve"
 
@@ -50,13 +63,22 @@ def disable() -> None:
 
 
 def log_event(event: str, **fields) -> None:
-    """Emit one lifecycle record as a single JSON line.
+    """Record one lifecycle event: always into the flight recorder,
+    and as a JSON log line when the logger is enabled.
 
-    No-op unless the logger is enabled for INFO, so the service's hot
-    path stays free of serialization work by default.
+    ``trace_id`` is attached automatically from the thread's active
+    :class:`~repro.telemetry.context.TraceContext` unless the caller
+    passes one explicitly (the serve tier does, because a worker thread
+    settles requests from several traces in one batch).
     """
+    if "trace_id" not in fields:
+        tid = current_trace_id()
+        if tid is not None:
+            fields["trace_id"] = tid
+    ts = time.time()
+    get_recorder().record(event, **fields)
     if not logger.isEnabledFor(logging.INFO):
         return
-    record = {"event": event, "ts": time.time()}
+    record = {"event": event, "ts": ts, "ts_iso": iso_ts(ts)}
     record.update(fields)
     logger.info(json.dumps(record, sort_keys=True, default=str))

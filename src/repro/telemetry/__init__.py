@@ -30,14 +30,24 @@ attached to every :class:`~repro.solvers.base.SolveResult`.
 
 from __future__ import annotations
 
+from .context import (
+    TraceContext,
+    activate,
+    current_trace,
+    current_trace_id,
+    new_span_id,
+    new_trace_id,
+)
 from .export import (
     SCHEMA,
     SCHEMA_VERSION,
     aggregate_level_seconds,
     level_breakdown_table,
     load_trace,
+    otlp_document,
     trace_document,
     validate_trace,
+    write_otlp,
     write_trace,
 )
 from .instrument import instrumented_solver, record_invariant, record_solve
@@ -54,8 +64,12 @@ __all__ = [
     "MetricsRegistry",
     "SolveTelemetry",
     "Span",
+    "TraceContext",
     "Tracer",
+    "activate",
     "aggregate_level_seconds",
+    "current_trace",
+    "current_trace_id",
     "disable",
     "enable",
     "enabled",
@@ -64,12 +78,16 @@ __all__ = [
     "instrumented_solver",
     "level_breakdown_table",
     "load_trace",
+    "new_span_id",
+    "new_trace_id",
+    "otlp_document",
     "record_invariant",
     "record_solve",
     "reset",
     "span",
     "trace_document",
     "validate_trace",
+    "write_otlp",
     "write_trace",
 ]
 

@@ -91,6 +91,97 @@ def load_trace(path: str | pathlib.Path) -> dict:
 
 
 # ----------------------------------------------------------------------
+# OTLP-style JSON export (OpenTelemetry trace shape)
+# ----------------------------------------------------------------------
+def _otlp_value(v: Any) -> dict:
+    """Project one attribute value into the OTLP AnyValue union."""
+    if isinstance(v, bool):
+        return {"boolValue": v}
+    if isinstance(v, int):
+        return {"intValue": str(v)}  # OTLP JSON carries int64 as string
+    if isinstance(v, float):
+        return {"doubleValue": v}
+    if isinstance(v, (list, tuple)):
+        return {"arrayValue": {"values": [_otlp_value(x) for x in v]}}
+    return {"stringValue": str(v)}
+
+
+def _otlp_attributes(attrs: dict) -> list[dict]:
+    return [{"key": str(k), "value": _otlp_value(v)} for k, v in attrs.items()]
+
+
+def _otlp_span(span: dict, out: list[dict]) -> None:
+    """Flatten one serialized span subtree into OTLP span records."""
+    start_ns = int((span.get("wall_start") or 0.0) * 1e9)
+    end_ns = start_ns + int(span["duration_s"] * 1e9)
+    record = {
+        "traceId": span.get("trace_id") or "0" * 32,
+        "spanId": span.get("span_id") or "0" * 16,
+        "name": span["name"],
+        "kind": 1,  # SPAN_KIND_INTERNAL
+        "startTimeUnixNano": str(start_ns),
+        "endTimeUnixNano": str(end_ns),
+        "attributes": _otlp_attributes(span.get("attrs", {})),
+    }
+    if span.get("parent_id"):
+        record["parentSpanId"] = span["parent_id"]
+    events = span.get("events", [])
+    if events:
+        record["events"] = [
+            {
+                "timeUnixNano": str(start_ns + int(e.get("t_s", 0.0) * 1e9)),
+                "name": e["name"],
+                "attributes": _otlp_attributes(
+                    {"severity": e.get("severity", "info"), **e.get("attrs", {})}
+                ),
+            }
+            for e in events
+        ]
+    if span.get("dropped_events"):
+        record["droppedEventsCount"] = int(span["dropped_events"])
+    out.append(record)
+    for child in span.get("children", []):
+        _otlp_span(child, out)
+
+
+def otlp_document(doc: dict) -> dict:
+    """Convert a ``repro.telemetry/v1`` document into OTLP/JSON traces.
+
+    The nested span forest is flattened into the OpenTelemetry
+    ``resourceSpans → scopeSpans → spans`` shape, with parenthood
+    expressed through ``parentSpanId`` — the format OTLP collectors,
+    Jaeger and Tempo ingest, so a solve trace can be dropped straight
+    into standard trace tooling.
+    """
+    validate_trace(doc)
+    spans: list[dict] = []
+    for root in doc["spans"]:
+        _otlp_span(root, spans)
+    resource_attrs = {"service.name": "repro", **doc.get("meta", {})}
+    return {
+        "resourceSpans": [
+            {
+                "resource": {"attributes": _otlp_attributes(resource_attrs)},
+                "scopeSpans": [
+                    {
+                        "scope": {"name": "repro.telemetry", "version": "1"},
+                        "spans": spans,
+                    }
+                ],
+            }
+        ]
+    }
+
+
+def write_otlp(path: str | pathlib.Path, doc: dict) -> pathlib.Path:
+    """Serialize ``doc`` (a v1 trace document) to OTLP JSON at ``path``."""
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(otlp_document(doc), indent=1, sort_keys=True) + "\n")
+    return out
+
+
+# ----------------------------------------------------------------------
 # per-level slicing (Figure 4 backing data)
 # ----------------------------------------------------------------------
 def iter_span_dicts(spans: Iterable[dict]) -> Iterable[dict]:

@@ -51,6 +51,37 @@ def record_invariant(report, origin: str = "registry") -> None:
     reg.histogram("verify.residual", invariant=report.name).observe(report.residual)
 
 
+def record_convergence_stream(name: str, sp, result) -> None:
+    """Attach the per-iteration residual stream and anomaly verdicts.
+
+    Every Krylov driver returns its relative-residual history; with
+    telemetry on, that history becomes a bounded ``iteration`` event
+    series on the driver's span (evenly subsampled past the span's
+    event budget) plus severity-tagged plateau/stall/divergence events
+    from the detector.  Verdicts are also booked into the registry
+    (``solver.convergence_anomalies`` by kind) and onto the result's
+    telemetry payload so non-traced consumers see them too.
+    """
+    history = getattr(result, "residual_history", None)
+    if not history or len(history) < 2:
+        return
+    from ..obs.convergence import record_convergence
+
+    verdicts = record_convergence(sp, history)
+    if not verdicts:
+        return
+    sp.annotate(convergence_anomalies=[v.kind for v in verdicts])
+    result.telemetry.attrs.setdefault("convergence_anomalies", []).extend(
+        v.to_dict() for v in verdicts
+    )
+    reg = get_registry()
+    if reg.enabled:
+        for v in verdicts:
+            reg.counter(
+                "solver.convergence_anomalies", solver=name, kind=v.kind
+            ).inc()
+
+
 def instrumented_solver(name: str):
     """Decorate a ``solver(op, b, ...) -> SolveResult`` entry point."""
 
@@ -67,6 +98,7 @@ def instrumented_solver(name: str):
                     matvecs=result.matvecs,
                     converged=result.converged,
                 )
+                record_convergence_stream(name, sp, result)
             record_solve(name, result)
             return result
 

@@ -13,11 +13,20 @@ hot paths pay a single attribute test and no allocation.
 from __future__ import annotations
 
 import math
+import random
 import re
 import threading
+import time
 from typing import Any
 
 LabelKey = tuple[tuple[str, Any], ...]
+
+#: Reservoir size past which histograms subsample (satellite of the
+#: observability PR: ``observe()`` used to append forever, an unbounded
+#: leak in any long-lived serve process).  Below the cap storage is
+#: exact; above it, uniform reservoir sampling keeps percentiles
+#: statistically faithful at O(cap) memory.
+DEFAULT_SAMPLE_CAP = 2048
 
 
 class _NullMetric:
@@ -31,7 +40,7 @@ class _NullMetric:
     def set(self, value: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: str | None = None) -> None:
         pass
 
 
@@ -80,27 +89,77 @@ class Gauge:
 
 
 class Histogram:
-    """Full-fidelity distribution with percentile queries.
+    """Bounded-memory distribution with percentile queries.
 
-    Observation counts here are small (iterations per solve, span
-    durations), so we keep every sample rather than bucketing —
-    percentiles are then exact, which the latency analysis of the
-    coarse-grid reductions (paper §6) needs.
+    Storage is *exact* up to ``cap`` observations (percentiles are then
+    exact, which the latency analysis of the coarse-grid reductions
+    (paper §6) needs); past the cap, new observations replace a
+    uniformly random kept sample (Vitter's algorithm R), so the
+    reservoir remains a uniform sample of everything seen and the
+    histogram cannot grow without bound in a long-lived serve process.
+    ``count``, ``sum``, ``mean``, ``min`` and ``max`` are always exact —
+    they are maintained as running aggregates, not derived from the
+    reservoir.
+
+    ``observe(value, trace_id=...)`` additionally keeps the most recent
+    traced observation as an *exemplar*, linking the metric series back
+    to the request trace that produced it.
     """
 
-    __slots__ = ("name", "labels", "samples", "_lock")
+    __slots__ = (
+        "name",
+        "labels",
+        "samples",
+        "cap",
+        "exemplar",
+        "_seen",
+        "_sum",
+        "_min",
+        "_max",
+        "_rng",
+        "_lock",
+    )
 
     kind = "histogram"
 
-    def __init__(self, name: str, labels: LabelKey):
+    def __init__(self, name: str, labels: LabelKey, cap: int = DEFAULT_SAMPLE_CAP):
+        if cap < 1:
+            raise ValueError(f"histogram sample cap must be >= 1, got {cap}")
         self.name = name
         self.labels = labels
         self.samples: list[float] = []
+        self.cap = int(cap)
+        self.exemplar: dict | None = None
+        self._seen = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        # deterministic per-series stream so reservoir contents are
+        # reproducible across runs of the same observation sequence
+        self._rng = random.Random(hash((name, labels)) & 0xFFFFFFFF)
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: str | None = None) -> None:
+        value = float(value)
         with self._lock:
-            self.samples.append(float(value))
+            self._seen += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if len(self.samples) < self.cap:
+                self.samples.append(value)
+            else:
+                j = self._rng.randrange(self._seen)
+                if j < self.cap:
+                    self.samples[j] = value
+            if trace_id is not None:
+                self.exemplar = {
+                    "value": value,
+                    "trace_id": trace_id,
+                    "ts": time.time(),
+                }
 
     def _snapshot(self) -> list[float]:
         """Consistent copy of the samples (observe() may race a reader)."""
@@ -109,40 +168,47 @@ class Histogram:
 
     @property
     def count(self) -> int:
+        """Total observations seen (not the kept-reservoir size)."""
+        return self._seen
+
+    @property
+    def kept(self) -> int:
+        """Samples currently held in the reservoir (== count below cap)."""
         return len(self.samples)
 
     @property
     def sum(self) -> float:
-        return float(sum(self._snapshot()))
+        return float(self._sum)
 
     @property
     def mean(self) -> float:
         """Arithmetic mean; 0.0 on an empty histogram (never raises)."""
-        samples = self._snapshot()
-        if not samples:
+        if not self._seen:
             return 0.0
-        return float(sum(samples)) / len(samples)
+        return self._sum / self._seen
 
     def percentile(self, p: float) -> float:
         """Linear-interpolated percentile ``p`` in [0, 100].
 
-        Edge cases are well-defined: an out-of-range ``p`` raises even
-        when the histogram is empty; an empty histogram returns 0.0; a
-        single sample is every percentile of itself; ``p=0``/``p=100``
-        are the exact min/max.
+        Exact below the reservoir cap, estimated from the uniform
+        reservoir above it — except ``p=0``/``p=100``, which are always
+        the exact running min/max.  Edge cases are well-defined: an
+        out-of-range ``p`` raises even when the histogram is empty; an
+        empty histogram returns 0.0; a single sample is every percentile
+        of itself.
         """
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         samples = self._snapshot()
         if not samples:
             return 0.0
+        if p == 0.0:
+            return self._min
+        if p == 100.0:
+            return self._max
         ordered = sorted(samples)
         if len(ordered) == 1:
             return ordered[0]
-        if p == 0.0:
-            return ordered[0]
-        if p == 100.0:
-            return ordered[-1]
         rank = (p / 100.0) * (len(ordered) - 1)
         lo = math.floor(rank)
         hi = math.ceil(rank)
@@ -152,18 +218,22 @@ class Histogram:
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
     def to_dict(self) -> dict:
-        samples = self._snapshot()
-        return {
+        out = {
             "labels": dict(self.labels),
-            "count": len(samples),
-            "sum": float(sum(samples)),
+            "count": self.count,
+            "sum": self.sum,
             "mean": self.mean,
             "p50": self.percentile(50.0),
             "p90": self.percentile(90.0),
             "p95": self.percentile(95.0),
             "p99": self.percentile(99.0),
-            "max": max(samples) if samples else 0.0,
+            "max": self._max if self._seen else 0.0,
+            "sample_cap": self.cap,
+            "samples_kept": self.kept,
         }
+        if self.exemplar is not None:
+            out["exemplar"] = dict(self.exemplar)
+        return out
 
 
 def _label_key(labels: dict[str, Any]) -> LabelKey:
@@ -259,7 +329,7 @@ class MetricsRegistry:
                 return m.value
         return 0.0
 
-    def expose_text(self, prefix: str = "repro_") -> str:
+    def expose_text(self, prefix: str = "repro_", exemplars: bool = False) -> str:
         """Render every metric in the Prometheus text format (0.0.4).
 
         Dotted names are sanitized (``mg.op_applies`` →
@@ -288,7 +358,15 @@ class MetricsRegistry:
                         lines.append(f"{prom}{labels} {_prom_value(value)}")
                     base = _prom_labels(m.labels)
                     lines.append(f"{prom}_sum{base} {_prom_value(m.sum)}")
-                    lines.append(f"{prom}_count{base} {int(m.count)}")
+                    count_line = f"{prom}_count{base} {int(m.count)}"
+                    if exemplars and m.exemplar is not None:
+                        # OpenMetrics-style exemplar: link the series to
+                        # the last traced observation's request trace
+                        count_line += (
+                            f' # {{trace_id="{m.exemplar["trace_id"]}"}}'
+                            f" {_prom_value(m.exemplar['value'])}"
+                        )
+                    lines.append(count_line)
                 else:
                     lines.append(
                         f"{prom}{_prom_labels(m.labels)} {_prom_value(m.value)}"

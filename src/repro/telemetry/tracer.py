@@ -28,6 +28,8 @@ import threading
 import time
 from typing import Any, Iterator
 
+from .context import current_trace_id, new_span_id, new_trace_id
+
 
 class _NullSpan:
     """Shared do-nothing span returned while tracing is disabled."""
@@ -46,6 +48,9 @@ class _NullSpan:
     def attribute(self, flops: float = 0.0, bytes: float = 0.0) -> "_NullSpan":
         return self
 
+    def event(self, name: str, severity: str = "info", **attrs) -> "_NullSpan":
+        return self
+
 
 _NULL_SPAN = _NullSpan()
 
@@ -59,6 +64,11 @@ class Span:
     and attaches it to its parent (or to the tracer's finished roots).
     """
 
+    #: per-span cap on recorded events; convergence histories longer than
+    #: this are subsampled by the emitters, anything else is dropped and
+    #: counted in ``dropped_events``
+    MAX_EVENTS = 256
+
     __slots__ = (
         "name",
         "attrs",
@@ -66,6 +76,11 @@ class Span:
         "start_s",
         "end_s",
         "wall_start",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "events",
+        "dropped_events",
         "_tracer",
     )
 
@@ -76,12 +91,26 @@ class Span:
         self.start_s: float | None = None
         self.end_s: float | None = None
         self.wall_start: float | None = None
+        self.trace_id: str = ""
+        self.span_id: str = ""
+        self.parent_id: str | None = None
+        self.events: list[dict] = []
+        self.dropped_events = 0
         self._tracer = tracer
 
     # -- context manager ------------------------------------------------
     def __enter__(self) -> "Span":
         self.wall_start = time.time()
         self.start_s = time.perf_counter()
+        parent = self._tracer.current()
+        if parent is not None:
+            self.trace_id = parent.trace_id
+            self.parent_id = parent.span_id
+        else:
+            # root span: join the thread's active request trace if one
+            # is open (serve propagation), otherwise start a new trace
+            self.trace_id = current_trace_id() or new_trace_id()
+        self.span_id = new_span_id()
         self._tracer._push(self)
         return self
 
@@ -111,6 +140,28 @@ class Span:
             self.attrs["bytes"] = self.attrs.get("bytes", 0.0) + float(bytes)
         return self
 
+    def event(self, name: str, severity: str = "info", **attrs) -> "Span":
+        """Append one timestamped event to this span's bounded series.
+
+        Events are the per-iteration stream the per-span attributes
+        cannot carry: residual norms, stall/plateau verdicts, phase
+        transitions.  The series is bounded at :attr:`MAX_EVENTS`;
+        overflow is dropped (never reallocated) and tallied in
+        ``dropped_events``, so a runaway solver cannot turn the tracer
+        into a memory leak.
+        """
+        if len(self.events) >= self.MAX_EVENTS:
+            self.dropped_events += 1
+            return self
+        t_s = (
+            time.perf_counter() - self.start_s if self.start_s is not None else 0.0
+        )
+        record = {"name": name, "t_s": t_s, "severity": severity}
+        if attrs:
+            record["attrs"] = attrs
+        self.events.append(record)
+        return self
+
     @property
     def duration_s(self) -> float:
         if self.start_s is None or self.end_s is None:
@@ -128,14 +179,27 @@ class Span:
             yield from child.walk()
 
     def to_dict(self) -> dict:
-        """JSON-serializable form (schema ``repro.telemetry/v1``)."""
-        return {
+        """JSON-serializable form (schema ``repro.telemetry/v1``).
+
+        Trace-context ids and the event series are additive fields of
+        the v1 schema: older readers that only walk
+        name/duration/attrs/children keep working unchanged.
+        """
+        out = {
             "name": self.name,
             "wall_start": self.wall_start,
             "duration_s": self.duration_s,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
             "attrs": dict(self.attrs),
             "children": [c.to_dict() for c in self.children],
         }
+        if self.events:
+            out["events"] = [dict(e) for e in self.events]
+        if self.dropped_events:
+            out["dropped_events"] = self.dropped_events
+        return out
 
     def __repr__(self) -> str:
         return (
@@ -187,6 +251,11 @@ class Tracer:
     def current(self) -> Span | None:
         stack = self._stack()
         return stack[-1] if stack else None
+
+    def recent_roots(self, n: int) -> list[Span]:
+        """The last ``n`` finished root spans (for bounded dumps)."""
+        with self._lock:
+            return list(self.roots[-n:]) if n > 0 else []
 
     def iter_spans(self) -> Iterator[Span]:
         """Depth-first iteration over every finished span."""
