@@ -1,0 +1,80 @@
+"""Fleet-serving throughput versus shard count, uniform and hot-key.
+
+Routes one request burst through the cache-affinity fleet router at
+several shard counts of one simulated heterogeneous fleet and reports
+the aggregate simulated requests/s per skew.  The acceptance bars are
+the router's two load-bearing properties: aggregate throughput grows
+monotonically with shards on the uniform workload, and the hot-key
+run survives (completes, and stays within 2x of uniform throughput)
+via affinity-spill replication.
+
+Set ``REPRO_BENCH_FLEET_REQUESTS`` / ``REPRO_BENCH_FLEET_SHARDS`` to
+change the burst/sweep (defaults 16 and ``1,2,4``) and
+``REPRO_BENCH_OUT`` to persist the ``repro.bench/v1`` document.
+"""
+
+import os
+
+import pytest
+
+from repro.fleet import render_fleet_table, run_fleet_bench
+from repro.workloads import ANISO40_SCALED
+
+from _shared import write_bench_document
+
+N_REQUESTS = int(os.environ.get("REPRO_BENCH_FLEET_REQUESTS", "16"))
+SHARDS = tuple(
+    int(s)
+    for s in os.environ.get("REPRO_BENCH_FLEET_SHARDS", "1,2,4").split(",")
+)
+
+
+@pytest.fixture(scope="module")
+def fleet_doc():
+    return run_fleet_bench(
+        dataset=ANISO40_SCALED,
+        shard_counts=SHARDS,
+        skew="both",
+        n_requests=N_REQUESTS,
+        n_ops=2 * max(SHARDS),
+        null_iters=30,
+    )
+
+
+def test_bench_fleet_scaling(fleet_doc, capsys):
+    """Per-(skew, shards) throughput rows; document persisted."""
+    rows = fleet_doc["rows"]
+    doc = write_bench_document(
+        "fleet_scaling",
+        rows,
+        meta={
+            "dataset": fleet_doc["dataset"],
+            "n_requests": fleet_doc["n_requests"],
+            "n_ops": fleet_doc["n_ops"],
+            "device_mix": fleet_doc["device_mix"],
+            "scaling": fleet_doc["scaling"],
+            "hot_over_uniform": fleet_doc.get("hot_over_uniform"),
+            "speed_factors": fleet_doc["speed_factors"],
+        },
+    )
+    with capsys.disabled():
+        print()
+        print(render_fleet_table(fleet_doc))
+    assert doc["schema"] == "repro.bench/v1"
+    assert all(r["all_converged"] for r in rows)
+    assert all(r["timeouts"] == 0 for r in rows)
+
+
+def test_uniform_scaling_monotonic(fleet_doc):
+    """More shards, more aggregate simulated throughput (uniform load)."""
+    assert fleet_doc["scaling"]["uniform"]["monotonic"], (
+        fleet_doc["scaling"]["uniform"]["agg_rps_by_shards"]
+    )
+
+
+def test_hot_key_survival(fleet_doc):
+    """Hot-key skew stays within 2x of uniform via spill replication."""
+    worst = min(fleet_doc["hot_over_uniform"].values())
+    assert worst >= 0.5, f"hot/uniform throughput fell to {worst:.2f}"
+    hot_max = [r for r in fleet_doc["rows"] if r["skew"] == "hot"][-1]
+    assert hot_max["replications"] >= 1

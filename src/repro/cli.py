@@ -13,6 +13,9 @@ Usage::
                                [--convergence]
     python -m repro.cli serve-bench [dataset] [--batch-sizes 1,4,8,16] [--requests N]
                                [--metrics-out FILE] [--blackbox-out DIR]
+    python -m repro.cli fleet-bench [dataset] [--shards 1,2,4,8] [--skew both]
+                               [--ops N] [--requests N] [--null-iters N]
+                               [--metrics-out FILE] [--out DIR]
     python -m repro.cli blackbox [path] [--events N]
     python -m repro.cli top    [dataset] [--interval S] [--frames N]
     python -m repro.cli check  [dataset] [--json out.json] [--strategy 24/24]
@@ -43,6 +46,13 @@ single-RHS requests is pushed through the dynamic batcher at several
 ``max_batch`` settings and the requests/s and p50/p95 latencies are
 reported (Section 9 multi-RHS batching, measured end to end through the
 service).
+
+``fleet-bench`` runs the sharded fleet-serving benchmark
+(:mod:`repro.fleet`): one request burst is routed across 1..N shards
+of a simulated heterogeneous fleet (A100/L4/T4 node classes behind the
+cache-affinity router) under uniform and hot-key workloads, and the
+aggregate simulated requests/s, replication counts and hot-key
+survival ratio are reported as a ``repro.fleet/v1`` document.
 
 ``trace`` runs one measured multigrid solve on a scaled dataset with
 full telemetry enabled and exports the JSON trace document (nested
@@ -75,7 +85,7 @@ from . import telemetry
 
 ARTIFACTS = [
     "table1", "table2", "table3", "fig2", "fig3", "fig4", "all", "trace",
-    "serve-bench", "check", "blackbox", "top",
+    "serve-bench", "fleet-bench", "check", "blackbox", "top",
 ]
 
 # command groups routed to the perf CLI (repro.perf.cli)
@@ -249,6 +259,32 @@ def main(argv: list[str] | None = None) -> int:
         help="requests per serve-bench configuration",
     )
     parser.add_argument(
+        "--shards",
+        default="1,2,4,8",
+        help="comma-separated shard counts for fleet-bench",
+    )
+    parser.add_argument(
+        "--skew",
+        choices=["uniform", "hot", "both"],
+        default="both",
+        help="fleet-bench workload skew ('hot' also runs its uniform "
+        "baseline for the survival ratio)",
+    )
+    parser.add_argument(
+        "--ops",
+        type=int,
+        default=None,
+        help="fleet-bench: distinct ensembles registered on the router "
+        "(default 2x the largest shard count)",
+    )
+    parser.add_argument(
+        "--null-iters",
+        type=int,
+        default=40,
+        help="fleet-bench: null-vector setup iterations per hierarchy "
+        "(default 40; lower for smoke runs)",
+    )
+    parser.add_argument(
         "--json",
         default=None,
         metavar="FILE",
@@ -288,8 +324,8 @@ def main(argv: list[str] | None = None) -> int:
         "--metrics-out",
         default=None,
         metavar="FILE",
-        help="serve-bench: write the final Prometheus metrics snapshot "
-        "(text exposition, with exemplars) to FILE",
+        help="serve-bench/fleet-bench: write the final Prometheus metrics "
+        "snapshot (text exposition, with exemplars) to FILE",
     )
     parser.add_argument(
         "--blackbox-out",
@@ -360,6 +396,35 @@ def main(argv: list[str] | None = None) -> int:
             path = out_dir / "serve-bench.json"
             path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
             print(f"\nserve-bench document written to {path}")
+        return 0
+
+    if args.artifact == "fleet-bench":
+        import json
+
+        from .fleet import render_fleet_table, run_fleet_bench
+
+        dataset = resolve_dataset(args.dataset)
+        shard_counts = tuple(int(s) for s in args.shards.split(","))
+        doc = run_fleet_bench(
+            dataset=dataset,
+            shard_counts=shard_counts,
+            skew=args.skew,
+            n_requests=args.requests,
+            n_ops=args.ops,
+            null_iters=args.null_iters,
+            metrics_out=args.metrics_out,
+            verbose=True,
+        )
+        print()
+        print(render_fleet_table(doc))
+        if args.metrics_out is not None:
+            print(f"\nmetrics snapshot written to {args.metrics_out}")
+        if args.out is not None:
+            out_dir = pathlib.Path(args.out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = out_dir / "fleet-bench.json"
+            path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+            print(f"\nfleet-bench document written to {path}")
         return 0
 
     if args.artifact == "trace":

@@ -1,0 +1,54 @@
+"""Sharded fleet serving over a simulated heterogeneous cluster.
+
+The multi-node serve tier above :mod:`repro.serve`: a fleet spec binds
+named nodes to :class:`~repro.gpu.device.DeviceSpec` entries and link
+parameters (:mod:`repro.fleet.spec`), each node runs its own
+:class:`~repro.serve.SolveService` behind a :class:`FleetShard`
+(:mod:`repro.fleet.shard`), a :class:`FleetRouter` places requests by
+operator fingerprint with load-aware spill replication
+(:mod:`repro.fleet.router`), a throughput-aware placement pass picks
+homes using the machine cost models (:mod:`repro.fleet.placement`),
+and ``repro fleet-bench`` measures aggregate requests/s scaling with
+shard count under uniform and hot-key workloads
+(:mod:`repro.fleet.bench`).
+"""
+
+from .bench import BENCH_SCHEMA, default_fleet, render_fleet_table, run_fleet_bench
+from .placement import (
+    EnsembleLoad,
+    PlacementPlan,
+    class_throughput,
+    model_speed_factor,
+    node_solve_time,
+    plan_placement,
+)
+from .router import FleetRouter, RouterConfig
+from .shard import FleetShard
+from .spec import (
+    MG_INTENSITY,
+    FakeFleetGenerator,
+    FleetNode,
+    FleetSpec,
+    speed_factor,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "EnsembleLoad",
+    "FakeFleetGenerator",
+    "FleetNode",
+    "FleetRouter",
+    "FleetShard",
+    "FleetSpec",
+    "MG_INTENSITY",
+    "PlacementPlan",
+    "RouterConfig",
+    "class_throughput",
+    "default_fleet",
+    "model_speed_factor",
+    "node_solve_time",
+    "plan_placement",
+    "render_fleet_table",
+    "run_fleet_bench",
+    "speed_factor",
+]

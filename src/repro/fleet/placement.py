@@ -1,0 +1,214 @@
+"""Throughput-aware placement of ensembles onto fleet nodes.
+
+The affinity hash gives every operator *a* home; this module picks a
+*good* one.  It prices each (ensemble, node-class) pair with the same
+machine models the strong-scaling replays use — the per-application
+stencil cost from :class:`~repro.machine.costs.MachineModel` evaluated
+on a :class:`~repro.machine.cluster.ClusterSpec` built from the node's
+device and ingress link, plus the router-hop cost of shipping the
+right-hand side over that link
+(:meth:`~repro.machine.network.NetworkSpec.message_time`) — and ranks
+node classes by whole-class solve throughput via
+:func:`repro.machine.throughput.throughput_schedule`, the paper's
+Section 7.2 capacity argument applied to the serve fleet.
+
+Assignment itself is greedy minimum-completion-time (LPT): ensembles
+in decreasing demand-weighted cost, each to the node whose simulated
+finish time it raises least.  That is the classic 4/3-approximation to
+makespan on uniform machines — plenty for a router default, and cheap
+enough to re-run whenever the fleet changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.cluster import ClusterSpec
+from ..machine.costs import MachineModel
+from ..machine.levels import LevelSpec
+from ..machine.throughput import PartitionChoice, throughput_schedule
+from .spec import FleetNode, FleetSpec
+
+#: MG applications per solve used to turn one stencil cost into a
+#: per-solve estimate; the paper's solves sit near 100 fine-operator
+#: applications (20 outer iterations x 4+4 smoother applications)
+APPLICATIONS_PER_SOLVE = 100
+
+
+@dataclass(frozen=True)
+class EnsembleLoad:
+    """One ensemble's demand, as the placement pass sees it."""
+
+    name: str
+    dims: tuple[int, int, int, int]
+    request_rate: float = 1.0  # relative traffic weight
+    precision_bytes: float = 4.0
+
+    @property
+    def fine_level(self) -> LevelSpec:
+        return LevelSpec(
+            dims=self.dims,
+            ns=4,
+            nc=3,
+            fine=True,
+            precision_bytes=self.precision_bytes,
+        )
+
+    @property
+    def rhs_bytes(self) -> float:
+        vol = 1
+        for d in self.dims:
+            vol *= d
+        return vol * 4 * 3 * 2 * self.precision_bytes
+
+
+def node_solve_time(node: FleetNode, ensemble: EnsembleLoad) -> float:
+    """Estimated seconds for one solve of ``ensemble`` on ``node``.
+
+    One fine-stencil application on a single-node cluster built from
+    the node's device and link, scaled to a solve's worth of
+    applications, plus the router hop that ships the right-hand side
+    in and the solution out.
+    """
+    cluster = ClusterSpec(
+        name=f"{node.id} ({node.device_name})",
+        device=node.device,
+        network=node.link(),
+    )
+    model = MachineModel(cluster)
+    stencil = model.stencil_cost(ensemble.fine_level, nodes=1)
+    hop = 2 * node.link().message_time(ensemble.rhs_bytes)
+    return stencil.total_s * APPLICATIONS_PER_SOLVE + hop
+
+
+def model_speed_factor(node: FleetNode, ensemble: EnsembleLoad) -> float:
+    """Per-ensemble node speed versus the paper's K20X, via the full model.
+
+    Unlike the raw roofline ratio (:func:`repro.fleet.spec.speed_factor`),
+    this runs both devices through the occupancy/latency kernel model on
+    the ensemble's actual fine grid — so on the small grids the paper is
+    about, a T4 closes most of its headline gap to an A100 (neither can
+    fill its SMs), exactly the Figure 2 effect.  The bench and router
+    use it so that load balancing, placement and the simulated clock
+    agree on what a node is worth.
+    """
+    from ..gpu.device import K20X
+
+    ref = FleetNode(
+        id=node.id,
+        device_name=K20X.name,
+        link_bandwidth_gbs=node.link_bandwidth_gbs,
+        link_latency_us=node.link_latency_us,
+    )
+    return node_solve_time(ref, ensemble) / node_solve_time(node, ensemble)
+
+
+def class_throughput(
+    fleet: FleetSpec, ensemble: EnsembleLoad
+) -> dict[str, PartitionChoice]:
+    """Solves/hour each node class could sustain for ``ensemble``.
+
+    Every class is treated as an allocation of ``count`` single-node
+    partitions; :func:`throughput_schedule` turns the per-solve
+    wallclock into whole-class capacity, mirroring the paper's
+    "minimum cost occurs on the least number of nodes" throughput
+    argument.
+    """
+    out: dict[str, PartitionChoice] = {}
+    by_class: dict[str, list[FleetNode]] = {}
+    for node in fleet.nodes:
+        by_class.setdefault(node.device_name, []).append(node)
+    for device_name, nodes in sorted(by_class.items()):
+        per_solve = node_solve_time(nodes[0], ensemble)
+        ranked = throughput_schedule({1: per_solve}, total_nodes=len(nodes))
+        out[device_name] = ranked[0]
+    return out
+
+
+@dataclass
+class Assignment:
+    """One ensemble's chosen home."""
+
+    ensemble: str
+    node_id: str
+    device: str
+    est_solve_s: float
+    load_s: float  # demand-weighted seconds this adds to the node
+
+    def to_dict(self) -> dict:
+        return {
+            "ensemble": self.ensemble,
+            "node": self.node_id,
+            "device": self.device,
+            "est_solve_s": self.est_solve_s,
+            "load_s": self.load_s,
+        }
+
+
+@dataclass
+class PlacementPlan:
+    """The scheduler's output: ensemble -> home node."""
+
+    fleet: FleetSpec
+    assignments: list[Assignment] = field(default_factory=list)
+    node_load_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def homes(self) -> dict[str, str]:
+        """Mapping consumable by ``FleetRouter.register(home=...)``."""
+        return {a.ensemble: a.node_id for a in self.assignments}
+
+    @property
+    def makespan_s(self) -> float:
+        return max(self.node_load_s.values(), default=0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "fleet": self.fleet.name,
+            "assignments": [a.to_dict() for a in self.assignments],
+            "node_load_s": dict(self.node_load_s),
+            "makespan_s": self.makespan_s,
+        }
+
+
+def plan_placement(
+    fleet: FleetSpec, ensembles: list[EnsembleLoad]
+) -> PlacementPlan:
+    """Greedy minimum-completion-time placement over the whole fleet."""
+    if not fleet.nodes:
+        raise ValueError(f"fleet {fleet.name!r} has no nodes")
+    plan = PlacementPlan(
+        fleet=fleet, node_load_s={n.id: 0.0 for n in fleet.nodes}
+    )
+    # per-(ensemble, node) costs once; demand-heavy ensembles place first
+    costs = {
+        (e.name, n.id): node_solve_time(n, e)
+        for e in ensembles
+        for n in fleet.nodes
+    }
+    order = sorted(
+        ensembles,
+        key=lambda e: -e.request_rate
+        * min(costs[(e.name, n.id)] for n in fleet.nodes),
+    )
+    for ensemble in order:
+        best = min(
+            fleet.nodes,
+            key=lambda n: (
+                plan.node_load_s[n.id]
+                + ensemble.request_rate * costs[(ensemble.name, n.id)],
+                n.id,
+            ),
+        )
+        load = ensemble.request_rate * costs[(ensemble.name, best.id)]
+        plan.node_load_s[best.id] += load
+        plan.assignments.append(
+            Assignment(
+                ensemble=ensemble.name,
+                node_id=best.id,
+                device=best.device_name,
+                est_solve_s=costs[(ensemble.name, best.id)],
+                load_s=load,
+            )
+        )
+    return plan

@@ -85,4 +85,54 @@ P100 = DeviceSpec(
     mem_latency_cycles=450,
 )
 
-DEVICES = {d.name: d for d in (K20X, M40, P100)}
+# Datacenter parts past the paper's era, used by the fleet-serving
+# tier (repro.fleet) to model heterogeneous clusters in the shape of
+# Helix's A100/T4/L4 fleets.  Numbers are public specifications: FP32
+# peak follows from sm_count * cores_per_sm * clock (FMA = 2 flops),
+# STREAM bandwidths are conservative measured fractions of pin.
+
+# NVIDIA A100-SXM4-40GB (GA100): 108 SMs x 64 FP32 lanes @ 1.41 GHz
+# boost -> 19.5 TFLOPS; 1555 GB/s HBM2, ~1400 GB/s STREAM.
+A100 = DeviceSpec(
+    name="A100",
+    sm_count=108,
+    cores_per_sm=64,
+    clock_ghz=1.41,
+    peak_bandwidth_gbs=1555.0,
+    stream_bandwidth_gbs=1400.0,
+    dep_latency=4,  # Ampere: 4-cycle dependent-issue latency
+    mem_latency_cycles=400,
+    shared_mem_per_sm_kb=164,
+)
+
+# NVIDIA T4 (TU104): 40 SMs x 64 FP32 lanes @ 1.59 GHz boost
+# -> 8.1 TFLOPS; 320 GB/s GDDR6, ~240 GB/s STREAM.
+T4 = DeviceSpec(
+    name="T4",
+    sm_count=40,
+    cores_per_sm=64,
+    clock_ghz=1.59,
+    peak_bandwidth_gbs=320.0,
+    stream_bandwidth_gbs=240.0,
+    dep_latency=4,
+    mem_latency_cycles=450,
+    max_warps_per_sm=32,
+    shared_mem_per_sm_kb=64,
+)
+
+# NVIDIA L4 (AD104): 58 SMs x 128 FP32 lanes @ 2.04 GHz boost
+# -> 30.3 TFLOPS; 300 GB/s GDDR6, ~250 GB/s STREAM.
+L4 = DeviceSpec(
+    name="L4",
+    sm_count=58,
+    cores_per_sm=128,
+    clock_ghz=2.04,
+    peak_bandwidth_gbs=300.0,
+    stream_bandwidth_gbs=250.0,
+    dep_latency=4,
+    mem_latency_cycles=420,
+    max_warps_per_sm=48,
+    shared_mem_per_sm_kb=100,
+)
+
+DEVICES = {d.name: d for d in (K20X, M40, P100, A100, T4, L4)}

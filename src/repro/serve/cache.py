@@ -106,6 +106,7 @@ class SetupCache:
             "misses": 0,
             "evictions": 0,
             "invalid": 0,
+            "seeded": 0,
         }
 
     # ------------------------------------------------------------------
@@ -141,6 +142,27 @@ class SetupCache:
                 self._persist(key, op, params, hierarchy)
             self._insert(key, hierarchy)
             return hierarchy
+
+    def seed(self, op, params: MGParams, hierarchy: MultigridHierarchy) -> str:
+        """Adopt an already-built hierarchy for ``(op, params)``.
+
+        This is the replication path of the fleet tier: when a router
+        spills a hot operator onto a second shard, the new shard adopts
+        the donor's hierarchy (in production: ships the null vectors
+        over the wire) instead of re-running the adaptive setup.  The
+        entry goes through the normal LRU accounting and, with a disk
+        directory configured, is persisted like a built one.  Returns
+        the cache key.
+        """
+        key = setup_cache_key(op, params)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return key
+        self._book("seeded")
+        self._persist(key, op, params, hierarchy)
+        self._insert(key, hierarchy)
+        return key
 
     def __contains__(self, key: str) -> bool:
         with self._lock:

@@ -50,7 +50,35 @@ from .slog import log_event
 
 
 class ServiceOverloadedError(RuntimeError):
-    """The pending queue is full; the client should retry or back off."""
+    """The pending queue is full; the client should retry or back off.
+
+    Carries a machine-readable payload so load-shedding clients (the
+    fleet router above all) can act on the rejection without parsing
+    the message string: ``queue_depth`` and ``capacity`` describe the
+    queue at rejection time, ``retry_after_s`` estimates when a slot
+    should free up (queue depth times the service's observed mean
+    solve time, floored at the batching wait).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        queue_depth: int = 0,
+        capacity: int = 0,
+        retry_after_s: float = 0.0,
+    ):
+        super().__init__(message)
+        self.queue_depth = int(queue_depth)
+        self.capacity = int(capacity)
+        self.retry_after_s = float(retry_after_s)
+
+    def to_dict(self) -> dict:
+        return {
+            "error": "overloaded",
+            "queue_depth": self.queue_depth,
+            "capacity": self.capacity,
+            "retry_after_s": self.retry_after_s,
+        }
 
 
 class ServiceClosedError(RuntimeError):
@@ -160,6 +188,11 @@ class SolveService:
             "verify_failures": 0,
             "stalls_detected": 0,
             "blackbox_dumps": 0,
+            "solve_s_total": 0.0,
+            # thread-CPU seconds spent solving: unlike the wall total
+            # this excludes cross-service contention on shared cores,
+            # which is what the fleet tier's device-time model needs
+            "solve_cpu_s_total": 0.0,
         }
         self.slo_monitor = (
             SLOMonitor(self.config.slo_specs) if self.config.slo_specs else None
@@ -210,6 +243,30 @@ class SolveService:
         with self._cond:
             return sorted(self._ops)
 
+    # -- load introspection ---------------------------------------------
+    def queue_depth(self) -> int:
+        """Pending (not yet dispatched) requests right now."""
+        with self._cond:
+            return len(self._pending)
+
+    def in_flight(self) -> int:
+        """Systems currently being solved by the worker pool."""
+        with self._cond:
+            return self._in_flight
+
+    def load(self) -> int:
+        """Queued plus in-flight systems — the router's load signal."""
+        with self._cond:
+            return len(self._pending) + self._in_flight
+
+    def _retry_after_locked(self) -> float:
+        """Retry-hint seconds; caller holds ``self._cond``."""
+        completed = max(self.stats["completed"], 1)
+        mean_solve = self.stats["solve_s_total"] / completed
+        return max(
+            self.config.max_wait_s, len(self._pending) * mean_solve
+        )
+
     def _book_verify(self, reports) -> None:
         """Fold runtime-verification reports into the service stats."""
         with self._cond:
@@ -259,7 +316,10 @@ class SolveService:
                     trace_id=trace_id,
                 )
                 raise ServiceOverloadedError(
-                    f"queue full ({self.config.queue_capacity} pending)"
+                    f"queue full ({self.config.queue_capacity} pending)",
+                    queue_depth=len(self._pending),
+                    capacity=self.config.queue_capacity,
+                    retry_after_s=self._retry_after_locked(),
                 )
             req = _Request(
                 op_name=op_name,
@@ -484,6 +544,7 @@ class SolveService:
                 trace_ids=[req.trace_id for req in live],
             ):
                 t0 = time.perf_counter()
+                c0 = time.thread_time()
                 if batched:
                     results = batched_mg_solve(
                         entry.solver.hierarchy,
@@ -497,6 +558,7 @@ class SolveService:
                         entry.solver.solve(req.rhs, tol=req.tol) for req in live
                     ]
                 dt = time.perf_counter() - t0
+                cdt = time.thread_time() - c0
         except Exception as exc:  # propagate solver failures to every waiter
             self.stats["failed"] += len(live)
             self._settle_in_flight(registry, len(live))
@@ -525,6 +587,9 @@ class SolveService:
                 },
             )
             return
+        with self._cond:
+            self.stats["solve_s_total"] += dt
+            self.stats["solve_cpu_s_total"] += cdt
         if registry.enabled:
             registry.histogram("serve.solve_s", op=head.op_name).observe(dt)
         if self.config.verify_level == "solve":
