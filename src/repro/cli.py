@@ -109,8 +109,15 @@ def resolve_dataset(name: str):
         raise SystemExit(2)
 
 
-def run_trace(dataset: str, verbose: bool = True) -> dict:
+def run_trace(dataset: str, verbose: bool = True, mrhs: int = 1) -> dict:
     """Run one measured MG solve on ``dataset`` with telemetry enabled.
+
+    With ``mrhs > 1`` the solve is the *batched* full-hierarchy
+    multi-RHS path (:func:`repro.mg.multi_rhs.batched_mg_solve`) over
+    that many right-hand sides, so the roofline table shows each
+    level's arithmetic intensity with the operator matrices amortized
+    over the batch — the coarse levels move toward (and up) the
+    bandwidth ceiling relative to the single-RHS trace.
 
     Returns the trace document (schema ``repro.telemetry/v1``), already
     performance-attributed: every cost-carrying span has ``gflops``,
@@ -130,11 +137,32 @@ def run_trace(dataset: str, verbose: bool = True) -> dict:
     telemetry.reset()
     try:
         op = WilsonCloverOperator(ds.gauge(), **ds.operator_kwargs())
-        b = SpinorField.random(ds.lattice(), rng=np.random.default_rng(0))
         mg = MultigridSolver(op, mg_params_for(ds, "24/24"), np.random.default_rng(1))
-        res = mg.solve(b.data, tol=ds.target_residuum)
-        doc = telemetry.trace_document(
-            meta={
+        if mrhs > 1:
+            from .mg.multi_rhs import batched_mg_solve
+
+            rng = np.random.default_rng(0)
+            bs = np.stack(
+                [
+                    SpinorField.random(ds.lattice(), rng=rng).data
+                    for _ in range(mrhs)
+                ]
+            )
+            results = batched_mg_solve(
+                mg.hierarchy, bs, tol=ds.target_residuum
+            )
+            meta = {
+                "kind": "trace-mrhs",
+                "dataset": ds.label,
+                "paper_dataset": ds.paper_label,
+                "n_rhs": mrhs,
+                "converged": bool(all(r.converged for r in results)),
+                "iterations": int(max(r.iterations for r in results)),
+            }
+        else:
+            b = SpinorField.random(ds.lattice(), rng=np.random.default_rng(0))
+            res = mg.solve(b.data, tol=ds.target_residuum)
+            meta = {
                 "kind": "trace",
                 "dataset": ds.label,
                 "paper_dataset": ds.paper_label,
@@ -142,17 +170,18 @@ def run_trace(dataset: str, verbose: bool = True) -> dict:
                 "iterations": int(res.iterations),
                 "solve": res.to_dict(),
             }
-        )
+        doc = telemetry.trace_document(meta=meta)
     finally:
         telemetry.disable()
     attribute_trace(doc)
     if verbose:
         from .perf import aggregate_level_costs, roofline_table
 
+        label = ds.label if mrhs <= 1 else f"{ds.label} (K={mrhs} batched)"
         per_level = telemetry.aggregate_level_seconds(doc["spans"])
         print(
             telemetry.level_breakdown_table(
-                per_level, title=f"trace {ds.label}: exclusive seconds per level"
+                per_level, title=f"trace {label}: exclusive seconds per level"
             )
         )
         print()
@@ -233,6 +262,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--rhs", type=int, default=2, help="right-hand sides per measured solver"
+    )
+    parser.add_argument(
+        "--mrhs",
+        type=int,
+        default=1,
+        metavar="K",
+        help="for 'trace': solve K right-hand sides through the batched "
+        "full-hierarchy multi-RHS path instead of one sequential solve",
     )
     parser.add_argument(
         "--out",
@@ -428,7 +465,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.artifact == "trace":
-        doc = run_trace(args.dataset)
+        doc = run_trace(args.dataset, mrhs=args.mrhs)
         if args.convergence:
             from .obs.convergence import convergence_report
 

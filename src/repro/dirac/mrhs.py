@@ -176,6 +176,103 @@ class BatchedSchur:
         return out
 
 
+def supports_dense_block_schur(op) -> bool:
+    """Whether ``op`` is a dense-block nearest-neighbour operator
+    (:class:`~repro.coarse.coarse_op.CoarseOperator`-shaped) the batched
+    coarse Schur kernels can drive directly."""
+    return hasattr(op, "x_blocks") and hasattr(op, "hop_blocks")
+
+
+class _DenseBlockHop:
+    """Eight-direction dense-block hop sum restricted to parity subsets.
+
+    The coarse-grid analogue of :class:`BatchedHopSum`: there is no spin
+    projector structure to exploit, so the whole ``(N, N)`` link block is
+    applied per direction — but the batch still folds into the GEMM's
+    right-hand side, so every link matrix is read once for all ``K``
+    systems (``(8, Vo, N, N) @ (8, Vo, N, K)`` stacked GEMMs).
+    """
+
+    def __init__(self, op, out_sites: np.ndarray, src_sites: np.ndarray):
+        lat = op.lattice
+        posmap = np.empty(lat.volume, dtype=np.int64)
+        posmap[src_sites] = np.arange(len(src_sites))
+        links, idx = [], []
+        for mu in range(NDIM):
+            for d, table in ((0, lat.fwd[mu]), (1, lat.bwd[mu])):
+                links.append(op.hop_blocks[mu, d][out_sites])
+                idx.append(posmap[table[out_sites]])
+        self._links = np.ascontiguousarray(np.stack(links))  # (8, Vo, N, N)
+        self._idx = np.stack(idx)                            # (8, Vo)
+        self._vo = self._links.shape[1]
+
+    def apply(self, src: np.ndarray) -> np.ndarray:
+        """``sum_{mu,s} Y src(nbr)``: (K, Vs, ns, nc) -> (K, Vo, ns, nc)."""
+        k, vs = src.shape[0], src.shape[1]
+        ns, nc = src.shape[2], src.shape[3]
+        flat = src.reshape(k, vs, ns * nc).transpose(1, 2, 0)  # (Vs, N, K)
+        g = flat[self._idx]                                    # (8, Vo, N, K)
+        col = np.matmul(self._links, g)                        # (8, Vo, N, K)
+        out = col.sum(axis=0)                                  # (Vo, N, K)
+        return np.ascontiguousarray(out.transpose(2, 0, 1)).reshape(
+            k, self._vo, ns, nc
+        )
+
+
+def _dense_blocks_apply_multi(mats: np.ndarray, vs: np.ndarray) -> np.ndarray:
+    """Apply per-site ``(N, N)`` blocks to ``(K, V, ns, nc)`` data, batch last."""
+    k, vol = vs.shape[0], vs.shape[1]
+    flat = vs.reshape(k, vol, -1).transpose(1, 2, 0)
+    out = np.matmul(mats, flat)
+    return np.ascontiguousarray(out.transpose(2, 0, 1)).reshape(vs.shape)
+
+
+class BatchedCoarseSchur:
+    """Batched red-black Schur for dense-block (coarse) operators.
+
+    Mirrors :class:`BatchedSchur` one level down: ``apply_multi``
+    evaluates ``(X_ee - Y_eo X_oo^{-1} Y_oe) x_e`` on genuine
+    half-volume ``(K, V/2, ns, nc)`` stacks, with every dense link and
+    site block read once per application for all ``K`` systems.
+    """
+
+    def __init__(self, op):
+        self.op = op
+        self.schur = SchurOperator(op, parity=0)
+        own, other = self.schur._own, self.schur._other  # noqa: SLF001
+        self._own = own
+        self._other = other
+        self._hop_to_other = _DenseBlockHop(op, out_sites=other, src_sites=own)
+        self._hop_to_own = _DenseBlockHop(op, out_sites=own, src_sites=other)
+        x_inv = op._x_inv  # noqa: SLF001 — cached once on the operator
+        self._diag_own = np.ascontiguousarray(op.x_blocks[own])
+        self._dinv_other = np.ascontiguousarray(x_inv[other])
+
+    def apply_multi(self, halves: np.ndarray) -> np.ndarray:
+        hop1 = self._hop_to_other.apply(halves)
+        mid = _dense_blocks_apply_multi(self._dinv_other, hop1)
+        hop2 = self._hop_to_own.apply(mid)
+        return _dense_blocks_apply_multi(self._diag_own, halves) - hop2
+
+    def prepare_multi(self, bs: np.ndarray) -> np.ndarray:
+        """Schur right-hand sides ``b_e - Y_eo X_oo^{-1} b_o`` for a stack."""
+        b_other = np.ascontiguousarray(bs[:, self._other])
+        corr = self._hop_to_own.apply(
+            _dense_blocks_apply_multi(self._dinv_other, b_other)
+        )
+        return bs[:, self._own] - corr
+
+    def reconstruct_multi(self, xs_half: np.ndarray, bs: np.ndarray) -> np.ndarray:
+        """Full-lattice solutions ``x_o = X_oo^{-1}(b_o - Y_oe x_e)``."""
+        hop = self._hop_to_other.apply(xs_half)
+        b_other = np.ascontiguousarray(bs[:, self._other])
+        x_other = _dense_blocks_apply_multi(self._dinv_other, b_other - hop)
+        out = np.empty_like(bs)
+        out[:, self._own] = xs_half
+        out[:, self._other] = x_other
+        return out
+
+
 class GenericBatchedSchur:
     """Fallback batched Schur for stencil operators without Wilson internals.
 
@@ -203,4 +300,8 @@ class GenericBatchedSchur:
 
 def batched_schur_for(op):
     """The fastest batched Schur wrapper ``op`` supports."""
-    return BatchedSchur(op) if supports_batched_schur(op) else GenericBatchedSchur(op)
+    if supports_batched_schur(op):
+        return BatchedSchur(op)
+    if supports_dense_block_schur(op):
+        return BatchedCoarseSchur(op)
+    return GenericBatchedSchur(op)

@@ -160,10 +160,23 @@ class StencilOperator(abc.ABC):
         defaults to 8 (the complex128 reals this NumPy implementation
         actually streams).
         """
+        matrices, vectors = self.bytes_per_site_split(precision_bytes)
+        return matrices + vectors
+
+    def bytes_per_site_split(
+        self, precision_bytes: float = 8.0
+    ) -> tuple[float, float]:
+        """Per-site traffic split into ``(matrix_bytes, vector_bytes)``.
+
+        The split is what makes the multi-RHS cost model work: a batched
+        application over ``K`` systems reads the matrices once but moves
+        ``K`` sets of vectors, so arithmetic intensity grows with ``K``
+        (paper Section 9 / the Richtmann–Meyer–Wettig MRHS argument).
+        """
         dof = self.site_dof
         matrices = 9 * dof * dof * 2 * precision_bytes
         vectors = (9 + 2) * dof * 2 * precision_bytes
-        return matrices + vectors
+        return matrices, vectors
 
     def application_cost(self) -> tuple[float, float]:
         """``(flops, bytes)`` of one full operator application.
@@ -180,4 +193,24 @@ class StencilOperator(abc.ABC):
                 volume * self.bytes_per_site(),
             )
             self._application_cost = cached
+        return cached
+
+    def application_cost_multi(self, k: int) -> tuple[float, float]:
+        """``(flops, bytes)`` of one batched application over ``k`` systems.
+
+        Flops scale with ``k``; the matrix traffic is paid once for the
+        whole batch while the vector traffic scales with ``k``.  Cached
+        per ``(instance, k)`` like :meth:`application_cost`.
+        """
+        cache = getattr(self, "_application_cost_multi", None)
+        if cache is None:
+            cache = self._application_cost_multi = {}
+        cached = cache.get(k)
+        if cached is None:
+            volume = self.lattice.volume
+            matrices, vectors = self.bytes_per_site_split()
+            cached = cache[k] = (
+                k * volume * self.flops_per_site(),
+                volume * (matrices + k * vectors),
+            )
         return cached

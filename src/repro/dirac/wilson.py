@@ -161,10 +161,22 @@ class WilsonCloverOperator(StencilOperator):
         """Wilson-Clover traffic model (no gauge-link reconstruction here:
         the NumPy implementation stores all 18 reals per link; spinor
         neighbour reuse matches :class:`repro.gpu.kernels.WilsonCloverDslashKernel`)."""
+        matrices, vectors = self.bytes_per_site_split(precision_bytes)
+        return matrices + vectors
+
+    def bytes_per_site_split(
+        self, precision_bytes: float = 8.0
+    ) -> tuple[float, float]:
+        """Traffic split: gauge+clover matrices vs spinor vectors.
+
+        The matrix half is what a batched multi-RHS application reads
+        once for the whole batch (Section 9); the vector half scales
+        with the number of right-hand sides.
+        """
         p = precision_bytes
         gauge = 8 * 18 * p
         spinor_reuse = 0.5
         spinor_in = (1 + 8 * (1.0 - spinor_reuse)) * 24 * p
         spinor_out = 24 * p
         clover = 72 * p if self.c_sw != 0.0 else 0.0
-        return gauge + spinor_in + spinor_out + clover
+        return gauge + clover, spinor_in + spinor_out

@@ -2,7 +2,14 @@
 
 from .hierarchy import LevelStats, MGLevel, MultigridHierarchy
 from .kcycle import KCyclePreconditioner, gcr_reductions
-from .multi_rhs import BatchedSmoother, BatchedTwoLevelPreconditioner, batched_mg_solve
+from .multi_rhs import (
+    BatchedKCyclePreconditioner,
+    BatchedSmoother,
+    BatchedTwoLevelPreconditioner,
+    batched_mg_solve,
+    batched_preconditioner_for,
+    hierarchy_supports_batching,
+)
 from .params import LevelParams, MGParams
 from .policy import PolicyTuneResult, tune_policy
 from .schwarz import DomainDecomposedOperator, SchwarzMRSmoother
@@ -15,9 +22,12 @@ __all__ = [
     "MGLevel",
     "MultigridHierarchy",
     "KCyclePreconditioner",
+    "BatchedKCyclePreconditioner",
     "BatchedSmoother",
     "BatchedTwoLevelPreconditioner",
     "batched_mg_solve",
+    "batched_preconditioner_for",
+    "hierarchy_supports_batching",
     "gcr_reductions",
     "LevelParams",
     "MGParams",

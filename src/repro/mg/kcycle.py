@@ -39,6 +39,20 @@ def operator_application_cost(op) -> tuple[float, float]:
     return fn() if fn is not None else (0.0, 0.0)
 
 
+def operator_application_cost_multi(op, k: int) -> tuple[float, float]:
+    """``(flops, bytes)`` of one *batched* application over ``k`` systems.
+
+    Operators exposing ``application_cost_multi`` (the stencil
+    hierarchy) get the matrices-read-once traffic model; anything else
+    falls back to ``k`` independent applications.
+    """
+    fn = getattr(op, "application_cost_multi", None)
+    if fn is not None:
+        return fn(k)
+    flops, nbytes = operator_application_cost(op)
+    return (k * flops, k * nbytes)
+
+
 def gcr_reductions(iterations: int, nkrylov: int) -> int:
     """Global reductions incurred by ``iterations`` GCR steps.
 

@@ -152,13 +152,23 @@ class MultigridSolver:
         lattice = self.hierarchy.levels[0].op.lattice
         return SpinorField(lattice, res.x), res
 
-    def solve_multi(self, bs: np.ndarray, **kwargs) -> list[SolveResult]:
+    def solve_multi(
+        self, bs: np.ndarray, batched: bool = False, **kwargs
+    ) -> list[SolveResult]:
         """Solve a stack of right-hand sides ``(K, V, ns, nc)``.
 
         The multigrid *setup* is shared across all K systems — the
         dominant amortization of the paper's throughput workloads, and
-        the first half of the Section 9 multi-RHS reformulation (the
-        second half, batching the cycle itself, is exercised by
-        :func:`repro.solvers.batched_gcr` on the level operators).
+        the first half of the Section 9 multi-RHS reformulation.  With
+        ``batched=True`` the second half runs too: the whole stack goes
+        through :func:`repro.mg.multi_rhs.batched_mg_solve`, so every
+        level of the cycle is applied to all K systems at once.
         """
+        if batched:
+            from .multi_rhs import batched_mg_solve
+
+            kwargs.setdefault("tol", self.params.outer_tol)
+            kwargs.setdefault("maxiter", self.params.outer_maxiter)
+            kwargs.setdefault("nkrylov", self.params.outer_nkrylov)
+            return batched_mg_solve(self.hierarchy, np.asarray(bs), **kwargs)
         return [self.solve(b, **kwargs) for b in bs]

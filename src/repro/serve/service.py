@@ -34,8 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..dirac.mrhs import supports_batched_schur
-from ..mg.multi_rhs import batched_mg_solve
+from ..mg.multi_rhs import batched_mg_solve, hierarchy_supports_batching
 from ..mg.params import MGParams
 from ..mg.solver import MultigridSolver
 from ..obs.blackbox import blackbox_document, write_blackbox
@@ -230,10 +229,9 @@ class SolveService:
             reports = verify_setup(hierarchy, origin="serve.register")
             self._book_verify(reports)
         solver = MultigridSolver.from_hierarchy(hierarchy, params)
-        batchable = (
-            len(hierarchy.levels) == 2
-            and supports_batched_schur(hierarchy.levels[0].op)
-        )
+        # batched kernels now cover the full hierarchy depth (fine
+        # Wilson-Clover + dense-block coarse levels), not just two-level
+        batchable = hierarchy_supports_batching(hierarchy)
         with self._cond:
             if self._closed:
                 raise ServiceClosedError("service is closed")

@@ -3,7 +3,7 @@
 from .base import ConvergenceError, OperatorCounter, SolveResult, norm, norm2, vdot
 from .bicgstab import bicgstab
 from .cg import cg, cgne, cgnr
-from .block import batched_gcr, sequential_gcr
+from .block import batched_gcr, block_cg, block_gcr, sequential_gcr, validate_rhs_stack
 from .chebyshev import ChebyshevSmoother, estimate_lambda_max
 from .eig import condition_estimate, deflated_cg, lanczos_lowest
 from .gcr import GCRSolver, gcr
@@ -23,6 +23,9 @@ __all__ = [
     "cgne",
     "cgnr",
     "batched_gcr",
+    "block_cg",
+    "block_gcr",
+    "validate_rhs_stack",
     "ChebyshevSmoother",
     "estimate_lambda_max",
     "sequential_gcr",

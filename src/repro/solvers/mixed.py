@@ -38,6 +38,25 @@ class PrecisionOperator:
 
     matvec = apply
 
+    def _apply_multi_raw(self, vs: np.ndarray) -> np.ndarray:
+        fn = getattr(self.op, "apply_multi", None)
+        if fn is not None:
+            return fn(vs)
+        return np.stack([self.op.apply(v) for v in vs])
+
+    def apply_multi(self, vs: np.ndarray) -> np.ndarray:
+        """Batched application with the same per-system rounding as ``apply``.
+
+        ``apply_precision`` normalizes half-precision per site over the
+        leading axis, so rounding is done one system at a time to keep
+        the batched path bit-identical to K sequential applications.
+        """
+        if self.precision is Precision.DOUBLE:
+            return self._apply_multi_raw(vs)
+        vq = np.stack([apply_precision(v, self.precision) for v in vs])
+        out = self._apply_multi_raw(vq)
+        return np.stack([apply_precision(o, self.precision) for o in out])
+
 
 def mixed_precision_solve(
     op,

@@ -174,6 +174,30 @@ class Transfer:
             self._application_cost = cached
         return cached
 
+    def application_cost_multi(self, k: int) -> tuple[float, float]:
+        """``(flops, bytes)`` of one batched restrict/prolong over ``k`` systems.
+
+        The aggregate bases are read once for the whole batch (they sit
+        in the GEMM's left operand); only the fine/coarse field traffic
+        scales with ``k``.
+        """
+        cache = getattr(self, "_application_cost_multi", None)
+        if cache is None:
+            cache = self._application_cost_multi = {}
+        cached = cache.get(k)
+        if cached is None:
+            precision_bytes = 8.0
+            fine_volume = self.fine_lattice.volume
+            fine_dof = self.fine_ns * self.fine_nc
+            coarse_dof = self.coarse_ns * self.coarse_nc
+            basis = fine_volume * fine_dof * coarse_dof / 2
+            fine = fine_volume * fine_dof
+            cached = cache[k] = (
+                k * fine_volume * fine_dof * coarse_dof * 8.0 / 2,
+                (basis + k * 2 * fine) * 2 * precision_bytes,
+            )
+        return cached
+
     # ------------------------------------------------------------------
     def orthonormality_violation(self) -> float:
         """Max deviation of ``P^dag P`` from the identity (should be ~eps)."""

@@ -26,7 +26,14 @@ refactors cannot silently change solver behaviour.
 """
 
 from .context import VerifyContext
-from .golden import compare_golden, golden_record, load_golden, write_golden
+from .golden import (
+    block_golden_record,
+    compare_block_golden,
+    compare_golden,
+    golden_record,
+    load_golden,
+    write_golden,
+)
 from .registry import REGISTRY, Invariant, get, invariant, names, run_invariant, run_registry
 from .report import SCHEMA, SEVERITIES, InvariantReport, VerificationReport
 from .runner import run_check
@@ -41,6 +48,8 @@ __all__ = [
     "SEVERITIES",
     "VerificationReport",
     "VerifyContext",
+    "block_golden_record",
+    "compare_block_golden",
     "compare_golden",
     "get",
     "golden_record",

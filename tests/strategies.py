@@ -110,6 +110,10 @@ class DenseOperator:
 
     matvec = apply
 
+    def apply_multi(self, vs: np.ndarray) -> np.ndarray:
+        k = vs.shape[0]
+        return (self.mat @ vs.reshape(k, -1).T).T.reshape(vs.shape)
+
     def gamma5_diag(self):
         return np.ones(1)
 

@@ -9,6 +9,9 @@ from repro.solvers import batched_gcr, gcr, norm, sequential_gcr
 from repro.transfer import Transfer
 from tests.conftest import random_spinor
 
+pytestmark = pytest.mark.mrhs
+
+
 
 @pytest.fixture(scope="module")
 def rhs_stack(lat44):

@@ -1,0 +1,435 @@
+"""Batched-hierarchy == K-sequential equivalence layer.
+
+The contract that makes "MRHS all the way down" safe: every batched
+kernel — fine/coarse Schur complements, smoothers, transfers, the
+K-cycle itself, and ``batched_mg_solve`` — must reproduce K independent
+sequential runs to rounding error, for K in {1, 2, 3, 8}, including the
+K=1 degenerate case and a ragged final batch.  Anything that drifts
+from the sequential path is a numerics change, not an optimisation.
+
+Run the group with ``pytest -q -m mrhs``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dirac import WilsonCloverOperator
+from repro.dirac.even_odd import SchurOperator
+from repro.dirac.mrhs import (
+    BatchedCoarseSchur,
+    BatchedSchur,
+    batched_schur_for,
+    supports_batched_schur,
+    supports_dense_block_schur,
+)
+from repro.dirac.normal import AdjointOperator, NormalOperator
+from repro.gauge import disordered_field
+from repro.lattice import Lattice
+from repro.mg import LevelParams, MGParams, MultigridSolver
+from repro.mg.kcycle import KCyclePreconditioner, operator_application_cost_multi
+from repro.mg.multi_rhs import (
+    BatchedKCyclePreconditioner,
+    BatchedSmoother,
+    batched_mg_solve,
+    batched_preconditioner_for,
+    hierarchy_supports_batching,
+)
+from repro.solvers import (
+    batched_gcr,
+    block_cg,
+    block_gcr,
+    gcr,
+    norm,
+    sequential_gcr,
+    validate_rhs_stack,
+)
+from tests.conftest import random_spinor
+from tests.strategies import SEEDS, DenseOperator
+
+pytestmark = pytest.mark.mrhs
+
+K_CASES = (1, 2, 3, 8)
+
+
+def stack_for(lattice, k: int, ns: int = 4, nc: int = 3, seed: int = 300):
+    rng = np.random.default_rng(seed)
+    shape = (k, lattice.volume, ns, nc)
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+
+@pytest.fixture(scope="module")
+def mg3():
+    """A deterministic three-level hierarchy (the verified reference).
+
+    4x4x4x8 disordered field, two coarsenings — deep enough that the
+    batched K-cycle exercises recursion, BatchedCoarseSchur on the
+    intermediate level, and the coarsest direct Schur solve.
+    """
+    lat = Lattice((4, 4, 4, 8))
+    u = disordered_field(lat, np.random.default_rng(11), 0.55, smear_steps=1)
+    op = WilsonCloverOperator(u, mass=-1.376, c_sw=1.0)
+    params = MGParams(
+        levels=[
+            LevelParams(block=(2, 2, 2, 2), n_null=6, null_iters=30),
+            LevelParams(block=(1, 1, 1, 2), n_null=4, null_iters=30),
+        ],
+        outer_tol=1e-8,
+    )
+    solver = MultigridSolver(op, params, np.random.default_rng(5))
+    return op, solver
+
+
+@pytest.fixture(scope="module")
+def coarse_op(mg3):
+    return mg3[1].hierarchy.levels[1].op
+
+
+# ----------------------------------------------------------------------
+# per-level operator equivalence
+# ----------------------------------------------------------------------
+class TestLevelOperators:
+    @pytest.mark.parametrize("k", K_CASES)
+    def test_fine_apply_multi(self, mg3, k):
+        op, _ = mg3
+        vs = stack_for(op.lattice, k, seed=300 + k)
+        batched = op.apply_multi(vs)
+        for i in range(k):
+            np.testing.assert_allclose(batched[i], op.apply(vs[i]), atol=1e-12)
+
+    @pytest.mark.parametrize("k", K_CASES)
+    def test_coarse_apply_multi(self, coarse_op, k):
+        mc = coarse_op
+        vs = stack_for(mc.lattice, k, mc.ns, mc.nc, seed=310 + k)
+        batched = mc.apply_multi(vs)
+        for i in range(k):
+            np.testing.assert_allclose(batched[i], mc.apply(vs[i]), atol=1e-11)
+
+    @pytest.mark.parametrize("k", K_CASES)
+    def test_fine_schur_apply(self, mg3, k):
+        op, _ = mg3
+        assert supports_batched_schur(op)
+        bschur, schur = BatchedSchur(op), SchurOperator(op, parity=0)
+        rng = np.random.default_rng(320 + k)
+        shape = (k, op.lattice.half_volume, op.ns, op.nc)
+        halves = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        batched = bschur.apply_multi(halves)
+        for i in range(k):
+            np.testing.assert_allclose(
+                batched[i], schur.apply(halves[i]), atol=1e-12
+            )
+
+    @pytest.mark.parametrize("k", K_CASES)
+    def test_coarse_schur_roundtrip(self, coarse_op, k):
+        """BatchedCoarseSchur prepare/apply/reconstruct == SchurOperator."""
+        mc = coarse_op
+        assert supports_dense_block_schur(mc)
+        bschur, schur = BatchedCoarseSchur(mc), SchurOperator(mc, parity=0)
+        bs = stack_for(mc.lattice, k, mc.ns, mc.nc, seed=330 + k)
+        prep = bschur.prepare_multi(bs)
+        applied = bschur.apply_multi(prep)
+        recon = bschur.reconstruct_multi(prep, bs)
+        for i in range(k):
+            np.testing.assert_allclose(
+                prep[i], schur.prepare_source(bs[i]), atol=1e-12
+            )
+            np.testing.assert_allclose(
+                applied[i], schur.apply(prep[i]), atol=1e-11
+            )
+            np.testing.assert_allclose(
+                recon[i], schur.reconstruct(prep[i], bs[i]), atol=1e-11
+            )
+
+    def test_batched_schur_for_dispatch(self, mg3, coarse_op):
+        op, _ = mg3
+        assert isinstance(batched_schur_for(op), BatchedSchur)
+        assert isinstance(batched_schur_for(coarse_op), BatchedCoarseSchur)
+
+    @pytest.mark.parametrize("level", [0, 1])
+    def test_smoother_matches_sequential(self, mg3, level):
+        _, solver = mg3
+        lev = solver.hierarchy.levels[level]
+        batched = BatchedSmoother(lev.op, steps=4)
+        rs = stack_for(lev.op.lattice, 3, lev.op.ns, lev.op.nc, seed=340 + level)
+        zs = batched.apply_multi(rs)
+        for i in range(3):
+            np.testing.assert_allclose(
+                zs[i], lev.smoother.apply(rs[i]), atol=1e-10
+            )
+
+    @pytest.mark.parametrize("level", [0, 1])
+    @pytest.mark.parametrize("k", K_CASES)
+    def test_transfer_multi(self, mg3, level, k):
+        _, solver = mg3
+        lev = solver.hierarchy.levels[level]
+        t = lev.transfer
+        fines = stack_for(lev.op.lattice, k, lev.op.ns, lev.op.nc, seed=350 + k)
+        rc = t.restrict_multi(fines)
+        for i in range(k):
+            np.testing.assert_allclose(rc[i], t.restrict(fines[i]), atol=1e-12)
+        back = t.prolong_multi(rc)
+        for i in range(k):
+            np.testing.assert_allclose(back[i], t.prolong(rc[i]), atol=1e-12)
+
+    def test_adjoint_and_normal_apply_multi(self, mg3):
+        op, _ = mg3
+        vs = stack_for(op.lattice, 3, seed=360)
+        adj, nrm = AdjointOperator(op), NormalOperator(op)
+        badj, bnrm = adj.apply_multi(vs), nrm.apply_multi(vs)
+        for i in range(3):
+            np.testing.assert_allclose(badj[i], adj.apply(vs[i]), atol=1e-12)
+            np.testing.assert_allclose(bnrm[i], nrm.apply(vs[i]), atol=1e-11)
+
+
+# ----------------------------------------------------------------------
+# hypothesis: batched Schur equivalence over drawn fields
+# ----------------------------------------------------------------------
+class TestSchurProperty:
+    @given(seed=SEEDS, k=st.integers(1, 4))
+    @settings(max_examples=8, deadline=None)
+    def test_fine_schur_property(self, seed, k):
+        lat = Lattice((4, 4, 2, 2))
+        rng = np.random.default_rng(seed)
+        u = disordered_field(lat, rng, 0.4, smear_steps=1)
+        op = WilsonCloverOperator(u, mass=-0.2, c_sw=1.0)
+        bschur, schur = BatchedSchur(op), SchurOperator(op, parity=0)
+        bs = np.asarray(
+            rng.standard_normal((k, lat.volume, 4, 3))
+            + 1j * rng.standard_normal((k, lat.volume, 4, 3))
+        )
+        prep = bschur.prepare_multi(bs)
+        recon = bschur.reconstruct_multi(prep, bs)
+        for i in range(k):
+            np.testing.assert_allclose(
+                prep[i], schur.prepare_source(bs[i]), atol=1e-11
+            )
+            np.testing.assert_allclose(
+                recon[i], schur.reconstruct(prep[i], bs[i]), atol=1e-11
+            )
+
+
+# ----------------------------------------------------------------------
+# full-depth K-cycle and solve equivalence
+# ----------------------------------------------------------------------
+class TestBatchedKCycle:
+    def test_preconditioner_matches_sequential(self, mg3):
+        op, solver = mg3
+        batched = BatchedKCyclePreconditioner(solver.hierarchy)
+        seq = KCyclePreconditioner(solver.hierarchy)
+        rs = stack_for(op.lattice, 4, seed=370)
+        zs = batched.apply_multi(rs)
+        for i in range(4):
+            z_seq = seq.apply(rs[i])
+            assert norm(zs[i] - z_seq) / norm(z_seq) < 1e-10
+
+    def test_solve_matches_sequential(self, mg3):
+        op, solver = mg3
+        bs = stack_for(op.lattice, 4, seed=380)
+        batched = batched_mg_solve(solver.hierarchy, bs, tol=1e-8)
+        for res, b in zip(batched, bs):
+            seq = solver.solve(b, tol=1e-8)
+            assert res.converged and seq.converged
+            assert res.iterations == seq.iterations
+            assert norm(res.x - seq.x) / norm(seq.x) < 1e-10
+
+    def test_k1_degenerate(self, mg3):
+        """A batch of one is exactly the sequential solve."""
+        op, solver = mg3
+        b = random_spinor(op.lattice, seed=385)
+        res_b = batched_mg_solve(solver.hierarchy, b[None], tol=1e-8)[0]
+        res_s = solver.solve(b, tol=1e-8)
+        assert res_b.iterations == res_s.iterations
+        assert norm(res_b.x - res_s.x) / max(norm(res_s.x), 1e-300) < 1e-12
+
+    def test_ragged_final_batch(self, mg3):
+        """7 RHS split 4+3 equals the same 7 solved in one batch."""
+        op, solver = mg3
+        bs = stack_for(op.lattice, 7, seed=390)
+        whole = batched_mg_solve(solver.hierarchy, bs, tol=1e-8)
+        chunked = list(
+            batched_mg_solve(solver.hierarchy, bs[:4], tol=1e-8)
+        ) + list(batched_mg_solve(solver.hierarchy, bs[4:], tol=1e-8))
+        for rw, rc in zip(whole, chunked):
+            assert rw.iterations == rc.iterations
+            assert norm(rw.x - rc.x) / norm(rc.x) < 1e-12
+
+    def test_level_stats_in_telemetry(self, mg3):
+        op, solver = mg3
+        bs = stack_for(op.lattice, 2, seed=395)
+        results = batched_mg_solve(solver.hierarchy, bs, tol=1e-8)
+        stats = results[0].telemetry.level_stats
+        assert set(stats) == {0, 1, 2}
+        assert stats[1]["op_applies"] > 0
+        assert stats[2]["op_applies"] > 0
+
+
+# ----------------------------------------------------------------------
+# batching-support predicates and caching
+# ----------------------------------------------------------------------
+class TestSupportPredicates:
+    def test_three_level_hierarchy_supported(self, mg3):
+        assert hierarchy_supports_batching(mg3[1].hierarchy)
+
+    def test_chebyshev_smoother_not_supported(self, mg3):
+        op, _ = mg3
+        params = MGParams(
+            levels=[LevelParams(block=(2, 2, 2, 4), n_null=4, null_iters=10)],
+            smoother_type="chebyshev",
+        )
+        solver = MultigridSolver(op, params, np.random.default_rng(2))
+        assert not hierarchy_supports_batching(solver.hierarchy)
+
+    def test_preconditioner_is_cached(self, mg3):
+        h = mg3[1].hierarchy
+        assert batched_preconditioner_for(h) is batched_preconditioner_for(h)
+
+
+# ----------------------------------------------------------------------
+# block-Krylov outer solvers
+# ----------------------------------------------------------------------
+class TestBlockGCR:
+    def test_matches_gcr_solutions(self, wilson44, lat44):
+        bs = np.stack([random_spinor(lat44, seed=500 + i) for i in range(3)])
+        blk = block_gcr(wilson44, bs, tol=1e-9, maxiter=500)
+        for res, b in zip(blk, bs):
+            assert res.converged
+            seq = gcr(wilson44, b, tol=1e-9, maxiter=500)
+            assert norm(res.x - seq.x) / norm(seq.x) < 1e-5
+
+    def test_shared_space_beats_lockstep(self, wilson44, lat44):
+        """The block Krylov space serves every RHS: batches <= worst seq."""
+        bs = np.stack([random_spinor(lat44, seed=510 + i) for i in range(4)])
+        blk = block_gcr(wilson44, bs, tol=1e-8, maxiter=500)
+        seq = sequential_gcr(wilson44, bs, tol=1e-8, maxiter=500)
+        assert all(r.converged for r in blk)
+        assert blk[0].extra["matvec_batches"] <= max(r.iterations for r in seq)
+
+    def test_rank_deficient_duplicates(self, wilson44, lat44):
+        """Duplicate RHS columns are dropped by the QR, not fatal."""
+        b = random_spinor(lat44, seed=520)
+        bs = np.stack([b, b, b])
+        blk = block_gcr(wilson44, bs, tol=1e-8, maxiter=500)
+        assert all(r.converged for r in blk)
+        np.testing.assert_array_equal(blk[0].x, blk[1].x)
+        np.testing.assert_array_equal(blk[0].x, blk[2].x)
+
+    def test_zero_rhs_in_block(self, wilson44, lat44):
+        bs = np.stack([random_spinor(lat44, seed=530), np.zeros_like(
+            random_spinor(lat44))])
+        blk = block_gcr(wilson44, bs, tol=1e-8, maxiter=500)
+        assert blk[1].converged and norm(blk[1].x) == 0.0
+
+
+class TestBlockCG:
+    def test_spd_dense_matches_direct(self):
+        rng = np.random.default_rng(3)
+        n, k = 24, 3
+        a = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        a = a @ a.conj().T + n * np.eye(n)
+        op = DenseOperator(a)
+        bs = rng.standard_normal((k, 1, 1, n)) + 1j * rng.standard_normal(
+            (k, 1, 1, n)
+        )
+        blk = block_cg(op, bs, tol=1e-10, maxiter=200)
+        for res, b in zip(blk, bs):
+            assert res.converged
+            direct = np.linalg.solve(a, b.reshape(-1))
+            assert np.linalg.norm(res.x.reshape(-1) - direct) < 1e-7
+
+    def test_duplicate_columns(self):
+        rng = np.random.default_rng(4)
+        n = 16
+        a = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        a = a @ a.conj().T + n * np.eye(n)
+        b = rng.standard_normal((1, 1, n)) + 1j * rng.standard_normal((1, 1, n))
+        blk = block_cg(DenseOperator(a), np.stack([b, b]), tol=1e-10,
+                       maxiter=200)
+        assert all(r.converged for r in blk)
+        np.testing.assert_allclose(blk[0].x, blk[1].x, atol=1e-12)
+
+    def test_shares_matvec_batches(self):
+        rng = np.random.default_rng(5)
+        n, k = 32, 4
+        a = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        a = a @ a.conj().T + n * np.eye(n)
+        bs = rng.standard_normal((k, 1, 1, n)) + 1j * rng.standard_normal(
+            (k, 1, 1, n)
+        )
+        blk = block_cg(DenseOperator(a), bs, tol=1e-10, maxiter=200)
+        assert all(r.converged for r in blk)
+        assert blk[0].extra["matvec_batches"] <= n
+
+
+# ----------------------------------------------------------------------
+# shape validation: malformed stacks fail loudly
+# ----------------------------------------------------------------------
+class TestShapeValidation:
+    def test_one_dimensional_stack_rejected(self, wilson44):
+        with pytest.raises(ValueError, match="stack"):
+            validate_rhs_stack(wilson44, np.zeros(12, dtype=np.complex128))
+
+    @pytest.mark.parametrize(
+        "solver_fn", [batched_gcr, block_gcr, block_cg],
+        ids=["batched_gcr", "block_gcr", "block_cg"],
+    )
+    def test_wrong_site_shape_rejected(self, wilson44, lat44, solver_fn):
+        bad = np.zeros((2, lat44.volume, 4, 2), dtype=np.complex128)  # nc=2
+        with pytest.raises(ValueError, match="does not match operator"):
+            solver_fn(wilson44, bad, tol=1e-8, maxiter=10)
+
+    def test_batched_mg_solve_rejects_wrong_volume(self, mg3):
+        _, solver = mg3
+        bad = np.zeros((2, 7, 4, 3), dtype=np.complex128)
+        with pytest.raises(ValueError, match="does not match operator"):
+            batched_mg_solve(solver.hierarchy, bad, tol=1e-8)
+
+
+# ----------------------------------------------------------------------
+# cost model: batching moves levels toward the bandwidth ceiling
+# ----------------------------------------------------------------------
+class TestCostModel:
+    @staticmethod
+    def _intensity(cost):
+        flops, nbytes = cost
+        return flops / nbytes
+
+    def test_fine_intensity_rises_with_k(self, mg3):
+        op, _ = mg3
+        ai1 = self._intensity(op.application_cost_multi(1))
+        ai8 = self._intensity(op.application_cost_multi(8))
+        assert ai8 > ai1
+        np.testing.assert_allclose(
+            op.application_cost_multi(1)[0] * 8, op.application_cost_multi(8)[0]
+        )
+
+    def test_coarse_intensity_rises_with_k(self, coarse_op):
+        ai1 = self._intensity(coarse_op.application_cost_multi(1))
+        ai8 = self._intensity(coarse_op.application_cost_multi(8))
+        # coarse dof blocks are dense: matrix traffic dominates at K=1,
+        # so batching buys a large arithmetic-intensity gain
+        assert ai8 > 2 * ai1
+
+    def test_transfer_cost_multi(self, mg3):
+        _, solver = mg3
+        t = solver.hierarchy.levels[0].transfer
+        f1, b1 = t.application_cost_multi(1)
+        f8, b8 = t.application_cost_multi(8)
+        np.testing.assert_allclose(f8, 8 * f1)
+        assert b8 < 8 * b1  # basis read once for the whole batch
+
+    def test_operator_cost_multi_fallback(self, mg3):
+        """Operators without the hook cost k x the single-RHS numbers."""
+
+        class Plain:
+            def application_cost(self):
+                return (10.0, 100.0)
+
+        assert operator_application_cost_multi(Plain(), 4) == (40.0, 400.0)
+        op, _ = mg3
+        assert (
+            operator_application_cost_multi(op, 4)
+            == op.application_cost_multi(4)
+        )

@@ -15,6 +15,9 @@ from repro.mg.multi_rhs import (
 from repro.solvers import norm
 from tests.conftest import random_spinor
 
+pytestmark = pytest.mark.mrhs
+
+
 
 @pytest.fixture(scope="module")
 def setup():

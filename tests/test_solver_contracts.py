@@ -14,8 +14,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
-from repro.solvers import bicgstab, cg, gcr, norm
+from repro.solvers import (
+    batched_gcr,
+    bicgstab,
+    block_cg,
+    block_gcr,
+    cg,
+    gcr,
+    norm,
+)
 from strategies import dense_systems
 
 pytestmark = pytest.mark.verify
@@ -104,3 +113,75 @@ class TestBiCGStabContract:
             assert res.converged
             assert res.iterations == 0
             assert norm(res.x) == 0.0
+
+
+# ----------------------------------------------------------------------
+# multi-RHS convergence masking
+# ----------------------------------------------------------------------
+def _rhs_stack(op, k: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    n = op.nc
+    # spread the column scales so systems cross tolerance at different
+    # iterations — the masking has to actually engage
+    scales = 10.0 ** rng.uniform(-2, 2, size=k)
+    bs = rng.standard_normal((k, n)) + 1j * rng.standard_normal((k, n))
+    return scales[:, None] * bs
+
+
+def check_masking_contract(op, bs, results, tol):
+    """Once a system crosses tolerance it must never regress above it.
+
+    The batched/block solvers keep iterating the shared space for the
+    stragglers; masking (``alpha[:, ~active] = 0``) freezes converged
+    columns, so their recorded history stays at-or-below tolerance from
+    the first crossing on, and the returned iterate truly solves the
+    system.
+    """
+    for res, b in zip(results, bs):
+        assert res.converged
+        hist = np.asarray(res.residual_history)
+        crossed = np.flatnonzero(hist <= tol)
+        assert crossed.size > 0
+        first = crossed[0]
+        assert np.all(hist[first:] <= tol), (
+            f"converged system regressed above tol: {hist[first:]}"
+        )
+        assert norm(b - op.apply(res.x)) / norm(b) <= 10.0 * tol
+
+
+class TestConvergenceMasking:
+    pytestmark = pytest.mark.mrhs
+
+    @given(sys_=dense_systems(kind="general"), seed=st.integers(0, 2**31))
+    @settings(**SETTINGS)
+    def test_batched_gcr_masks_converged(self, sys_, seed):
+        op, _b = sys_
+        bs = _rhs_stack(op, 4, seed)
+        results = batched_gcr(op, bs, tol=TOL, maxiter=2000)
+        check_masking_contract(op, bs, results, TOL)
+
+    @given(sys_=dense_systems(kind="general"), seed=st.integers(0, 2**31))
+    @settings(**SETTINGS)
+    def test_block_gcr_masks_converged(self, sys_, seed):
+        op, _b = sys_
+        bs = _rhs_stack(op, 4, seed)
+        results = block_gcr(op, bs, tol=TOL, maxiter=2000)
+        check_masking_contract(op, bs, results, TOL)
+
+    @given(sys_=dense_systems(kind="spd"), seed=st.integers(0, 2**31))
+    @settings(**SETTINGS)
+    def test_block_cg_masks_converged(self, sys_, seed):
+        op, _b = sys_
+        bs = _rhs_stack(op, 4, seed)
+        results = block_cg(op, bs, tol=TOL, maxiter=2000)
+        check_masking_contract(op, bs, results, TOL)
+
+    @given(dense_systems(kind="general"))
+    @settings(**SETTINGS)
+    def test_histories_cover_shared_iterations(self, sys_):
+        """Every system's history spans the full shared-space run."""
+        op, _b = sys_
+        bs = _rhs_stack(op, 3, 17)
+        results = block_gcr(op, bs, tol=TOL, maxiter=2000)
+        lengths = {len(r.residual_history) for r in results}
+        assert len(lengths) == 1  # frozen systems repeat their last value
