@@ -1,0 +1,198 @@
+"""Layout ranking: the hot kernels timed under every registered backend.
+
+One operator pair (fine Wilson-Clover + its Galerkin coarse operator)
+is built once; each hot kernel — single and batched applies, hop sums,
+transfers — is then timed under every backend in the registry and
+ranked against the vectorized-NumPy baseline.  This is the
+machine-local answer to "which data layout wins where": the einsum
+backend's gather-GEMM should lead on the coarse stencil (one BLAS
+dispatch instead of nine stacked matvecs), the SoA and einsum batched
+paths on the ``K > 1`` applies, and nothing may beat the baseline by
+losing to it elsewhere — the differential suite (``pytest -m
+backend``) pins the numerics while this ranks the speed.
+
+Dual-mode module: runs under ``pytest benchmarks/`` with the shared
+``repro.bench/v1`` envelope plumbing, and as a standalone script
+(``python benchmarks/bench_backends.py [--quick]``) that needs no
+pytest install.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.backend import available_backends, use_backend
+from repro.coarse import coarsen_operator
+from repro.dirac import WilsonCloverOperator
+from repro.gauge import disordered_field
+from repro.lattice import Blocking, Lattice
+from repro.transfer import Transfer
+
+try:
+    import pytest
+except ImportError:  # standalone CI invocations install numpy only
+    pytest = None
+
+K_BATCH = 8
+
+
+def build_problem(dims=(8, 8, 8, 8), n_null: int = 8):
+    """One fine operator, one coarsening, and deterministic vectors."""
+    lat = Lattice(dims)
+    gauge = disordered_field(lat, np.random.default_rng(0), 0.45)
+    op = WilsonCloverOperator(gauge, mass=-0.6, c_sw=1.0)
+    rng = np.random.default_rng(1)
+
+    def cnormal(shape):
+        return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+    nulls = [cnormal((lat.volume, 4, 3)) for _ in range(n_null)]
+    transfer = Transfer(Blocking(lat, (2, 2, 2, 2)), nulls)
+    coarse = coarsen_operator(op, transfer)
+    clat = coarse.lattice
+    return {
+        "op": op,
+        "coarse": coarse,
+        "transfer": transfer,
+        "v": cnormal((lat.volume, 4, 3)),
+        "vs": cnormal((K_BATCH, lat.volume, 4, 3)),
+        "vc": cnormal((clat.volume, coarse.ns, coarse.nc)),
+        "vcs": cnormal((K_BATCH, clat.volume, coarse.ns, coarse.nc)),
+    }
+
+
+KERNELS = {
+    "wilson.apply": lambda p: p["op"].apply(p["v"]),
+    "wilson.hop_sum": lambda p: p["op"].apply_hopping(p["v"]),
+    f"wilson.apply_multi.k{K_BATCH}": lambda p: p["op"].apply_multi(p["vs"]),
+    "coarse.apply": lambda p: p["coarse"].apply(p["vc"]),
+    f"coarse.apply_multi.k{K_BATCH}": lambda p: p["coarse"].apply_multi(p["vcs"]),
+    "transfer.restrict": lambda p: p["transfer"].restrict(p["v"]),
+    "transfer.prolong": lambda p: p["transfer"].prolong(p["vc"]),
+}
+
+
+def run_backend_bench(repeats: int = 5, problem=None) -> dict:
+    """Best-of-``repeats`` seconds for every (backend, kernel) pair."""
+    problem = problem if problem is not None else build_problem()
+    backends = available_backends()
+    rows: list[dict] = []
+    for name in backends:
+        with use_backend(name):
+            for kernel, fn in KERNELS.items():
+                fn(problem)  # warm-up: builds any cached tables/engines
+                best = float("inf")
+                for _ in range(max(repeats, 1)):
+                    t0 = time.perf_counter()
+                    fn(problem)
+                    best = min(best, time.perf_counter() - t0)
+                rows.append({"backend": name, "kernel": kernel, "seconds": best})
+    base = {
+        r["kernel"]: r["seconds"] for r in rows if r["backend"] == "numpy"
+    }
+    for row in rows:
+        row["speedup_vs_numpy"] = round(base[row["kernel"]] / row["seconds"], 3)
+    return {"backends": list(backends), "repeats": repeats, "rows": rows}
+
+
+def render_table(doc: dict) -> str:
+    lines = [
+        f"backend layout ranking — best of {doc['repeats']} "
+        f"(speedup vs numpy baseline)",
+        f"{'kernel':<28}" + "".join(f"{b:>10}" for b in doc["backends"]),
+    ]
+    by_kernel: dict[str, dict[str, float]] = {}
+    for row in doc["rows"]:
+        by_kernel.setdefault(row["kernel"], {})[row["backend"]] = row[
+            "speedup_vs_numpy"
+        ]
+    for kernel in KERNELS:
+        cells = "".join(
+            f"{by_kernel[kernel].get(b, float('nan')):>10.2f}"
+            for b in doc["backends"]
+        )
+        lines.append(f"{kernel:<28}{cells}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+if pytest is not None:
+
+    pytestmark = pytest.mark.backend
+
+    @pytest.fixture(scope="module")
+    def backend_doc():
+        return run_backend_bench()
+
+    def test_bench_backends(backend_doc, capsys):
+        """Record the full (backend, kernel) timing matrix."""
+        from _shared import record_row
+
+        for row in backend_doc["rows"]:
+            record_row(
+                "backend_ranking",
+                benchmark=f"{row['backend']}.{row['kernel']}",
+                seconds=row["seconds"],
+                speedup_vs_numpy=row["speedup_vs_numpy"],
+            )
+        with capsys.disabled():
+            print()
+            print(render_table(backend_doc))
+        assert len(backend_doc["rows"]) == len(KERNELS) * len(
+            backend_doc["backends"]
+        )
+
+    def test_no_backend_collapses(backend_doc):
+        """No registered backend may be catastrophically slower than the
+        baseline on any hot kernel (noise-tolerant 3x bar; the precise
+        ranking is advisory, the committed-ledger diff is the gate)."""
+        for row in backend_doc["rows"]:
+            assert row["speedup_vs_numpy"] > 1 / 3.0, (
+                f"{row['backend']} is {1 / row['speedup_vs_numpy']:.1f}x "
+                f"slower than numpy on {row['kernel']}"
+            )
+
+
+# ----------------------------------------------------------------------
+# standalone entry point
+# ----------------------------------------------------------------------
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer repeats, smaller lattice"
+    )
+    args = parser.parse_args()
+    if args.quick:
+        doc = run_backend_bench(
+            repeats=3, problem=build_problem(dims=(4, 4, 4, 8), n_null=4)
+        )
+    else:
+        doc = run_backend_bench()
+    print(render_table(doc))
+    try:
+        from _shared import write_bench_document
+
+        write_bench_document(
+            "backend_ranking",
+            [
+                {
+                    "benchmark": f"{r['backend']}.{r['kernel']}",
+                    "seconds": r["seconds"],
+                    "speedup_vs_numpy": r["speedup_vs_numpy"],
+                }
+                for r in doc["rows"]
+            ],
+            meta={"repeats": doc["repeats"]},
+        )
+    except ImportError:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""The vectorized-NumPy baseline backend.
+
+This is the formulation the package has always run: the operators'
+reference implementations *are* the baseline, so this backend is the
+base class with a name.  It exists as a first-class registry entry so
+that ``REPRO_BACKEND=numpy`` is explicit, differential tests have a
+fixed point, and bench-ledger entries are attributable.
+"""
+
+from __future__ import annotations
+
+from .base import ArrayBackend
+
+
+class NumpyBackend(ArrayBackend):
+    """Site-major (AoS) vectorized NumPy — the committed baseline."""
+
+    name = "numpy"
+    description = "site-major vectorized NumPy baseline (committed BENCH reference)"

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backend import active_backend_name, use_backend
 from ..coarse import coarsen_operator
 from ..lattice import Blocking
 from ..telemetry.tracer import get_tracer
@@ -151,7 +152,11 @@ class MultigridHierarchy:
         tracer = get_tracer()
         levels: list[MGLevel] = []
         current = fine_op
-        with tracer.span("mg.setup", n_levels=len(params.levels) + 1):
+        with use_backend(params.backend), tracer.span(
+            "mg.setup",
+            n_levels=len(params.levels) + 1,
+            backend=active_backend_name() if params.backend is None else params.backend,
+        ):
             for index, lp in enumerate(params.levels):
                 if verbose:
                     print(

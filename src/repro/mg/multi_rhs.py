@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import use_backend
 from ..dirac.mrhs import (
     batched_schur_for,
     supports_batched_schur,
@@ -435,7 +436,9 @@ def batched_mg_solve(
     it = 0
     matvec_batches = 0
     tracer = get_tracer()
-    with tracer.span("mg.batched_solve", n_rhs=k, tol=tol) as sp:
+    with use_backend(hierarchy.params.backend) as backend, tracer.span(
+        "mg.batched_solve", n_rhs=k, tol=tol, backend=backend.name
+    ) as sp:
         while it < maxiter and active.any():
             if len(zs_list) == nkrylov:
                 zs_list.clear()
@@ -499,6 +502,7 @@ def batched_mg_solve(
             )
             res.telemetry.level_stats = level_stats
             res.telemetry.attrs["level_stats"] = level_stats
+            res.telemetry.attrs["backend"] = backend.name
             if isinstance(sp, Span):
                 # all K results belong to the batch span's trace; the
                 # serve tier activates the head request's context around

@@ -3,7 +3,7 @@
 Routed from :mod:`repro.cli` (``python -m repro.cli bench ...`` /
 ``... perf ...``)::
 
-    repro bench run [--suite quick|full] [--repeats K]
+    repro bench run [--suite quick|full] [--repeats K] [--backend NAME]
                     [--ledger-dir DIR] [--no-trajectory] [--out FILE]
     repro bench list
     repro perf diff A B [--tolerance T] [--z Z] [--warn-only] [--json FILE]
@@ -51,6 +51,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="FILE",
         help="also write the entry to FILE (e.g. a CI artifact path)",
     )
+    run.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="array backend to measure under (default: REPRO_BACKEND or numpy)",
+    )
     bench_sub.add_parser("list", help="list suites and their benchmarks")
 
     perf = sub.add_parser("perf", help="performance comparisons")
@@ -90,7 +94,10 @@ def perf_main(argv: list[str]) -> int:
         return 0
 
     if args.group == "bench" and args.command == "run":
-        doc = run_suite(args.suite, repeats=args.repeats, verbose=True)
+        from ..backend import use_backend
+
+        with use_backend(args.backend):
+            doc = run_suite(args.suite, repeats=args.repeats, verbose=True)
         archive, trajectory = append_entry(
             doc,
             ledger_dir=args.ledger_dir,

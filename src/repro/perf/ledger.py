@@ -38,10 +38,15 @@ BENCH_SCHEMA = "repro.bench/v1"
 # the shared envelope (benchmarks/_shared.py re-exports these)
 # ----------------------------------------------------------------------
 def host_metadata() -> dict:
+    from ..backend import active_backend_name
+
     return {
         "platform": platform.platform(),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        # the array backend the measurements ran on: layout rankings
+        # (repro perf diff) are only meaningful backend-to-baseline
+        "backend": active_backend_name(),
     }
 
 
@@ -350,7 +355,7 @@ def run_suite(
         "git": git_metadata(),
         "env": {
             key: os.environ[key]
-            for key in ("REPRO_BENCH_RHS",)
+            for key in ("REPRO_BENCH_RHS", "REPRO_BACKEND")
             if key in os.environ
         },
     }

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import get_backend
 from ..fields import SpinorField
 from ..lattice import Blocking
 from ..dirac.gamma import chirality_slices_for
@@ -79,7 +80,19 @@ class Transfer:
 
     # ------------------------------------------------------------------
     def restrict(self, fine: np.ndarray) -> np.ndarray:
-        """``R v = P^dag v``: fine ``(V_f, ns, nc)`` -> coarse ``(V_c, 2, Nc_hat)``."""
+        """``R v = P^dag v``: fine ``(V_f, ns, nc)`` -> coarse ``(V_c, 2, Nc_hat)``.
+
+        Dispatches through the active backend (the per-aggregate basis
+        GEMMs are layout-sensitive like every other hot kernel).
+        """
+        return get_backend().restrict(self, fine)
+
+    def prolong(self, coarse: np.ndarray) -> np.ndarray:
+        """``P v``: coarse ``(V_c, 2, Nc_hat)`` -> fine ``(V_f, ns, nc)``."""
+        return get_backend().prolong(self, coarse)
+
+    def restrict_reference(self, fine: np.ndarray) -> np.ndarray:
+        """Baseline restriction: one basis GEMM per chirality."""
         vc = self.coarse_lattice.volume
         out = np.empty((vc, 2, self.coarse_nc), dtype=np.complex128)
         agg = self.blocking.agg_sites
@@ -90,8 +103,8 @@ class Transfer:
             )[..., 0]
         return out
 
-    def prolong(self, coarse: np.ndarray) -> np.ndarray:
-        """``P v``: coarse ``(V_c, 2, Nc_hat)`` -> fine ``(V_f, ns, nc)``."""
+    def prolong_reference(self, coarse: np.ndarray) -> np.ndarray:
+        """Baseline prolongation: one basis GEMM per chirality."""
         vf = self.fine_lattice.volume
         out = np.zeros((vf, self.fine_ns, self.fine_nc), dtype=np.complex128)
         agg = self.blocking.agg_sites
@@ -111,6 +124,14 @@ class Transfer:
         The aggregate bases are read once for all ``K`` systems by
         folding the batch into the GEMM right-hand side (Section 9).
         """
+        return get_backend().restrict_multi(self, fines)
+
+    def prolong_multi(self, coarses: np.ndarray) -> np.ndarray:
+        """Batched ``P``: ``(K, V_c, 2, Nc_hat)`` -> ``(K, V_f, ns, nc)``."""
+        return get_backend().prolong_multi(self, coarses)
+
+    def restrict_multi_reference(self, fines: np.ndarray) -> np.ndarray:
+        """Baseline batched restriction, batch folded into the GEMM RHS."""
         k = fines.shape[0]
         vc = self.coarse_lattice.volume
         out = np.empty((k, vc, 2, self.coarse_nc), dtype=np.complex128)
@@ -126,8 +147,8 @@ class Transfer:
             out[:, :, chi, :] = y.transpose(2, 0, 1)
         return out
 
-    def prolong_multi(self, coarses: np.ndarray) -> np.ndarray:
-        """Batched ``P``: ``(K, V_c, 2, Nc_hat)`` -> ``(K, V_f, ns, nc)``."""
+    def prolong_multi_reference(self, coarses: np.ndarray) -> np.ndarray:
+        """Baseline batched prolongation, batch folded into the GEMM RHS."""
         k = coarses.shape[0]
         vf = self.fine_lattice.volume
         vc = self.coarse_lattice.volume

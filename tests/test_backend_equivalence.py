@@ -1,0 +1,253 @@
+"""Differential backend-equivalence suite (``pytest -m backend``).
+
+Every registered backend is held to the vectorized-NumPy baseline on
+every hot kernel — Wilson-Clover apply, hop sum, clover term, Schur
+apply, coarse dense-block apply, aggregation transfers, and the batched
+``apply_multi`` variants — across three qualitatively different
+ensembles (rough disordered, anisotropic, free field).  The matrix is
+the gate for the data-layout refactor: a backend enters the registry
+only if it matches the baseline to ``RTOL`` relative error here.
+
+Optional backends (numba/cupy) that registered at import are swept by
+the same matrix automatically — ``CANDIDATES`` is read off the live
+registry, not hardcoded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    ArrayBackend,
+    active_backend_name,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    use_backend,
+)
+from repro.coarse import coarsen_operator
+from repro.dirac import WilsonCloverOperator
+from repro.dirac.even_odd import SchurOperator
+from repro.gauge import disordered_field, free_field
+from repro.lattice import Blocking, Lattice
+from repro.transfer import Transfer
+
+pytestmark = pytest.mark.backend
+
+RTOL = 1e-12
+K_MULTI = 8
+N_NULL = 4
+
+#: every non-baseline backend in the registry, optional ones included
+CANDIDATES = tuple(n for n in available_backends() if n != "numpy")
+
+ENSEMBLES = ("rough", "aniso", "free")
+
+
+def _fine_operator(ensemble: str) -> WilsonCloverOperator:
+    if ensemble == "rough":
+        lat = Lattice((4, 4, 4, 4))
+        gauge = disordered_field(lat, np.random.default_rng(101), 0.7)
+        return WilsonCloverOperator(gauge, mass=-0.25, c_sw=1.0)
+    if ensemble == "aniso":
+        # distinct extents + anisotropic hop weights expose index-order
+        # and per-direction-weight bugs the isotropic cases cannot
+        lat = Lattice((4, 4, 4, 8))
+        gauge = disordered_field(lat, np.random.default_rng(102), 0.4, smear_steps=1)
+        return WilsonCloverOperator(gauge, mass=-0.3, c_sw=1.3, anisotropy=2.5)
+    if ensemble == "free":
+        # unit links, no clover: exercises the c_sw = 0 diagonal path
+        lat = Lattice((4, 4, 4, 4))
+        return WilsonCloverOperator(free_field(lat), mass=0.1, c_sw=0.0)
+    raise ValueError(ensemble)
+
+
+def _rel_err(got: np.ndarray, want: np.ndarray) -> float:
+    scale = np.linalg.norm(want)
+    return float(np.linalg.norm(got - want) / (scale if scale > 0 else 1.0))
+
+
+class Problem:
+    """One ensemble's operators plus deterministic test vectors."""
+
+    def __init__(self, ensemble: str):
+        self.ensemble = ensemble
+        op = self._op = _fine_operator(ensemble)
+        lat = op.lattice
+        rng = np.random.default_rng(7_000 + ENSEMBLES.index(ensemble))
+
+        def cnormal(shape):
+            return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+        self.v = cnormal((lat.volume, op.ns, op.nc))
+        self.vs = cnormal((K_MULTI, lat.volume, op.ns, op.nc))
+        self.schur = SchurOperator(op, parity=0)
+        self.h = self.v[lat.sites_of_parity(0)]
+
+        nulls = [cnormal((lat.volume, op.ns, op.nc)) for _ in range(N_NULL)]
+        self.transfer = Transfer(Blocking(lat, (2, 2, 2, 2)), nulls)
+        self.coarse = coarsen_operator(op, self.transfer)
+        clat = self.coarse.lattice
+        self.vc = cnormal((clat.volume, self.coarse.ns, self.coarse.nc))
+        self.vcs = cnormal((K_MULTI, clat.volume, self.coarse.ns, self.coarse.nc))
+        self.coarse_schur = SchurOperator(self.coarse, parity=0)
+        self.hc = self.vc[clat.sites_of_parity(0)]
+
+    @property
+    def op(self):
+        return self._op
+
+
+#: operation name -> callable(Problem) -> ndarray; add a row here and
+#: every (backend, ensemble) pair picks it up automatically
+OPERATIONS = {
+    "wilson_apply": lambda p: p.op.apply(p.v),
+    "wilson_hop_sum": lambda p: p.op.apply_hopping(p.v),
+    "wilson_diag": lambda p: p.op.apply_diag(p.v),
+    "wilson_diag_inv": lambda p: p.op.apply_diag_inv(p.v),
+    "wilson_schur": lambda p: p.schur.apply(p.h),
+    "wilson_multi_k1": lambda p: p.op.apply_multi(p.vs[:1]),
+    "wilson_multi_k8": lambda p: p.op.apply_multi(p.vs),
+    "coarse_apply": lambda p: p.coarse.apply(p.vc),
+    "coarse_hop_sum": lambda p: p.coarse.apply_hopping(p.vc),
+    "coarse_diag": lambda p: p.coarse.apply_diag(p.vc),
+    "coarse_diag_inv": lambda p: p.coarse.apply_diag_inv(p.vc),
+    "coarse_schur": lambda p: p.coarse_schur.apply(p.hc),
+    "coarse_multi_k1": lambda p: p.coarse.apply_multi(p.vcs[:1]),
+    "coarse_multi_k8": lambda p: p.coarse.apply_multi(p.vcs),
+    "restrict": lambda p: p.transfer.restrict(p.v),
+    "prolong": lambda p: p.transfer.prolong(p.vc),
+    "restrict_multi_k8": lambda p: p.transfer.restrict_multi(p.vs),
+    "prolong_multi_k8": lambda p: p.transfer.prolong_multi(p.vcs),
+}
+
+
+@pytest.fixture(scope="module", params=ENSEMBLES)
+def problem(request):
+    return Problem(request.param)
+
+
+@pytest.fixture(scope="module")
+def baseline(problem):
+    """Every operation evaluated once under the NumPy baseline."""
+    with use_backend("numpy"):
+        return {name: fn(problem) for name, fn in OPERATIONS.items()}
+
+
+@pytest.mark.parametrize("backend", CANDIDATES)
+@pytest.mark.parametrize("operation", sorted(OPERATIONS))
+def test_backend_matches_baseline(problem, baseline, backend, operation):
+    with use_backend(backend):
+        got = OPERATIONS[operation](problem)
+    want = baseline[operation]
+    assert got.shape == want.shape
+    err = _rel_err(got, want)
+    assert err <= RTOL, (
+        f"{backend}:{operation} on {problem.ensemble} drifted from the "
+        f"numpy baseline by {err:.3e} (allowed {RTOL:.0e})"
+    )
+
+
+@pytest.mark.parametrize("backend", CANDIDATES)
+def test_backend_results_are_fresh_arrays(problem, backend):
+    """Backends must not alias their inputs (solvers mutate results)."""
+    with use_backend(backend):
+        out = problem.op.apply(problem.v)
+    assert out is not problem.v
+    assert not np.shares_memory(out, problem.v)
+
+
+# ----------------------------------------------------------------------
+# registry / selection semantics
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_baseline_always_first(self):
+        names = available_backends()
+        assert names[0] == "numpy"
+        assert {"einsum", "soa"} <= set(names)
+
+    def test_resolve_unknown_lists_choices(self):
+        with pytest.raises(KeyError, match="einsum"):
+            resolve_backend("does-not-exist")
+
+    def test_use_backend_scopes_and_restores(self):
+        before = active_backend_name()
+        with use_backend("soa"):
+            assert active_backend_name() == "soa"
+            with use_backend("einsum"):
+                assert active_backend_name() == "einsum"
+            assert active_backend_name() == "soa"
+        assert active_backend_name() == before
+
+    def test_use_backend_none_is_inert(self):
+        with use_backend("einsum"):
+            with use_backend(None) as backend:
+                assert backend.name == "einsum"
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(get_backend("numpy"))
+
+    def test_register_rejects_non_backend(self):
+        with pytest.raises(TypeError):
+            register_backend(object())  # type: ignore[arg-type]
+
+    def test_custom_backend_roundtrip(self):
+        class Custom(ArrayBackend):
+            name = "test-custom"
+
+        try:
+            register_backend(Custom())
+            assert resolve_backend("test-custom").name == "test-custom"
+        finally:
+            from repro import backend as backend_mod
+
+            backend_mod._REGISTRY.pop("test-custom", None)
+
+
+# ----------------------------------------------------------------------
+# observability: the active backend is recorded everywhere rankings
+# need it (bench host metadata, solve telemetry)
+# ----------------------------------------------------------------------
+class TestBackendRecording:
+    def test_host_metadata_records_backend(self):
+        from repro.perf.ledger import host_metadata
+
+        with use_backend("soa"):
+            assert host_metadata()["backend"] == "soa"
+        assert host_metadata()["backend"] == active_backend_name()
+
+    @pytest.mark.parametrize("backend", CANDIDATES)
+    def test_solve_telemetry_records_backend(self, backend):
+        from repro.mg.params import LevelParams, MGParams
+        from repro.mg.solver import MultigridSolver
+
+        lat = Lattice((4, 4, 4, 4))
+        gauge = disordered_field(lat, np.random.default_rng(3), 0.4)
+        op = WilsonCloverOperator(gauge, mass=-0.3)
+        params = MGParams(
+            levels=[LevelParams(block=(2, 2, 2, 2), n_null=2, null_iters=5)],
+            outer_tol=1e-5,
+            backend=backend,
+        )
+        solver = MultigridSolver(op, params, rng=np.random.default_rng(11))
+        rng = np.random.default_rng(5)
+        b = rng.standard_normal((lat.volume, 4, 3)) + 1j * rng.standard_normal(
+            (lat.volume, 4, 3)
+        )
+        result = solver.solve(b)
+        assert result.telemetry.attrs["backend"] == backend
+        batched = solver.solve_multi(np.stack([b, 2 * b]), batched=True)
+        assert all(r.telemetry.attrs["backend"] == backend for r in batched)
+
+    def test_backend_excluded_from_fingerprint(self):
+        from repro.mg.params import LevelParams, MGParams
+
+        base = MGParams(levels=[LevelParams(block=(2, 2, 2, 2), n_null=2)])
+        swapped = MGParams(
+            levels=[LevelParams(block=(2, 2, 2, 2), n_null=2)], backend="soa"
+        )
+        assert base.fingerprint() == swapped.fingerprint()
+        assert "backend" not in base.canonical_dict()

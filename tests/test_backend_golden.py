@@ -1,0 +1,115 @@
+"""Backend-parametrized golden regression (``pytest -m backend``).
+
+The committed golden record freezes the canonical Aniso40-scaled
+solve's convergence signature under the NumPy baseline.  Here the same
+hierarchy — rebuilt from the baseline's exported null vectors, so the
+setup is identical by construction — is solved again under every
+candidate backend, and the *exact* iteration counts must reproduce:
+backends are alternative layouts of the same arithmetic, so even the
+comparator's small slack is not granted for the outer count.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.backend import available_backends
+from repro.mg import MultigridSolver
+from repro.verify.golden import compare_golden, golden_record, load_golden
+
+pytestmark = pytest.mark.backend
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "aniso40-scaled.json"
+TOL = 5e-6
+
+CANDIDATES = tuple(n for n in available_backends() if n != "numpy")
+
+
+@pytest.fixture(scope="module")
+def backend_solves(aniso40_solve):
+    """The canonical solve re-run under every candidate backend.
+
+    The hierarchy is rebuilt from the baseline's exported null vectors
+    (no relaxation re-run), so every backend solves the literally
+    identical preconditioned system.
+    """
+    import dataclasses
+
+    from repro.dirac import WilsonCloverOperator
+    from repro.fields import SpinorField
+
+    ds, solver, baseline_result = aniso40_solve
+    nulls = solver.hierarchy.export_null_vectors()
+    op = WilsonCloverOperator(ds.gauge(), **ds.operator_kwargs())
+    b = SpinorField.random(ds.lattice(), rng=np.random.default_rng(0))
+
+    results = {"numpy": baseline_result}
+    for name in CANDIDATES:
+        params = dataclasses.replace(solver.params, backend=name)
+        redo = MultigridSolver(
+            op, params, np.random.default_rng(1), null_vectors=nulls
+        )
+        results[name] = redo.solve(b.data, tol=TOL)
+    return ds, results
+
+
+def test_golden_exists():
+    assert GOLDEN_PATH.exists(), (
+        f"no golden record at {GOLDEN_PATH}; create it with "
+        f"`pytest tests/test_golden_regression.py --regen-golden`"
+    )
+
+
+@pytest.mark.parametrize("backend", CANDIDATES)
+def test_backend_reproduces_golden_record(backend_solves, backend):
+    ds, results = backend_solves
+    golden = load_golden(GOLDEN_PATH)
+    record = golden_record(results[backend], subject=ds.label, tol=TOL)
+    problems = compare_golden(record, golden)
+    assert not problems, (
+        f"backend {backend!r} drifted from the golden record:\n- "
+        + "\n- ".join(problems)
+    )
+
+
+@pytest.mark.parametrize("backend", CANDIDATES)
+def test_backend_iteration_counts_exactly_match_baseline(backend_solves, backend):
+    """Layouts re-order arithmetic but must not change the iteration
+    trajectory: the outer count and every level's GCR work match the
+    baseline exactly, not merely within the comparator's slack."""
+    _, results = backend_solves
+    base = results["numpy"]
+    cand = results[backend]
+    assert cand.converged
+    assert cand.iterations == base.iterations
+    base_levels = {
+        lvl: stats["gcr_iters"]
+        for lvl, stats in base.telemetry.level_stats.items()
+    }
+    cand_levels = {
+        lvl: stats["gcr_iters"]
+        for lvl, stats in cand.telemetry.level_stats.items()
+    }
+    assert cand_levels == base_levels
+
+
+@pytest.mark.parametrize("backend", CANDIDATES)
+def test_backend_solution_close_to_baseline(backend_solves, backend):
+    _, results = backend_solves
+    base, cand = results["numpy"], results[backend]
+    err = np.linalg.norm(cand.x - base.x) / np.linalg.norm(base.x)
+    # both solutions satisfy the same 5e-6 residual bound; layouts only
+    # reassociate sums, so they agree far tighter than the tolerance
+    assert err <= 1e-6
+
+
+def test_golden_record_is_baseline(aniso40_solve):
+    """The committed record itself matches what the baseline just did."""
+    ds, _solver, result = aniso40_solve
+    golden = json.loads(GOLDEN_PATH.read_text())
+    record = golden_record(result, subject=ds.label, tol=TOL)
+    assert not compare_golden(record, golden)

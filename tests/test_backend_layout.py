@@ -1,0 +1,159 @@
+"""Property tests for the packed even/odd SoA layout (``pytest -m backend``).
+
+The SoA backend's correctness rests on three structural facts, pinned
+here as hypothesis properties rather than fixed examples:
+
+* packing is a pure permutation — ``unpack(pack(v))`` is *bitwise*
+  equal to ``v`` for arbitrary field shapes;
+* the even/odd site tables are complementary — together they are
+  exactly ``range(V)``, disjointly, and each holds the sites whose
+  coordinate sum has that parity;
+* the packed application commutes with unpacking — applying the
+  operator in packed parity planes and unpacking agrees with the
+  baseline site-major application to rounding error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.backend import (  # noqa: E402
+    PackedParityField,
+    get_backend,
+    pack_parity,
+    parity_sites,
+    unpack_parity,
+    use_backend,
+)
+from repro.dirac import WilsonCloverOperator  # noqa: E402
+from repro.gauge import disordered_field  # noqa: E402
+from repro.lattice import Lattice  # noqa: E402
+
+from strategies import SEEDS, lattices, site_fields  # noqa: E402
+
+pytestmark = pytest.mark.backend
+
+
+# ----------------------------------------------------------------------
+# packing is a pure permutation
+# ----------------------------------------------------------------------
+@given(site_fields())
+def test_pack_unpack_roundtrip_is_bitwise(lat_fields):
+    lat, fields = lat_fields
+    v = fields[0]
+    packed = pack_parity(lat, v)
+    assert packed.planes.shape == (2, lat.volume // 2) + v.shape[1:]
+    back = unpack_parity(packed)
+    # a permutation moves bytes, never touches them: bitwise equality
+    assert back.dtype == v.dtype
+    assert np.array_equal(back.view(np.uint8), v.view(np.uint8))
+
+
+@given(site_fields())
+def test_pack_preserves_multiset_of_values(lat_fields):
+    lat, fields = lat_fields
+    v = fields[0]
+    packed = pack_parity(lat, v)
+    assert np.array_equal(
+        np.sort(packed.planes.reshape(-1)), np.sort(v.reshape(-1))
+    )
+
+
+@given(lattices(), SEEDS)
+def test_packed_planes_follow_parity_order(lat, seed):
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal((lat.volume, 2, 3))
+    packed = pack_parity(lat, v)
+    even, odd = parity_sites(lat)
+    assert np.array_equal(packed.even, v[even])
+    assert np.array_equal(packed.odd, v[odd])
+
+
+# ----------------------------------------------------------------------
+# parity masks are complementary
+# ----------------------------------------------------------------------
+@given(lattices())
+def test_parity_sites_partition_the_lattice(lat):
+    even, odd = parity_sites(lat)
+    assert len(even) == len(odd) == lat.volume // 2
+    together = np.concatenate([even, odd])
+    assert np.array_equal(np.sort(together), np.arange(lat.volume))
+
+
+@given(lattices())
+def test_parity_sites_match_coordinate_parity(lat):
+    even, odd = parity_sites(lat)
+    parity = lat.site_coords.sum(axis=1) % 2
+    assert np.array_equal(np.sort(even), np.flatnonzero(parity == 0))
+    assert np.array_equal(np.sort(odd), np.flatnonzero(parity == 1))
+
+
+@given(lattices())
+def test_every_hop_crosses_parity(lat):
+    """Nearest-neighbour hops are strictly parity-to-parity — the fact
+    that lets the SoA backend drop zero-padded intermediates."""
+    even, _ = parity_sites(lat)
+    is_even = np.zeros(lat.volume, dtype=bool)
+    is_even[even] = True
+    for mu in range(4):
+        assert np.array_equal(is_even[lat.fwd[mu]], ~is_even)
+        assert np.array_equal(is_even[lat.bwd[mu]], ~is_even)
+
+
+# ----------------------------------------------------------------------
+# packed apply commutes with unpack
+# ----------------------------------------------------------------------
+def _wilson_for(lat: Lattice, seed: int) -> WilsonCloverOperator:
+    gauge = disordered_field(lat, np.random.default_rng(seed), 0.5)
+    return WilsonCloverOperator(gauge, mass=-0.2, c_sw=1.0)
+
+
+@settings(max_examples=15)
+@given(SEEDS, SEEDS, st.integers(1, 4))
+def test_packed_apply_commutes_with_unpack(op_seed, vec_seed, k):
+    lat = Lattice((4, 4, 4, 4))
+    op = _wilson_for(lat, op_seed)
+    rng = np.random.default_rng(vec_seed)
+    shape = (k, lat.volume, 4, 3)
+    vs = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+    soa = get_backend("soa")
+    planes = np.stack(
+        [pack_parity(lat, v).planes for v in vs], axis=1
+    )  # (2, K, V/2, 4, 3)
+    out_planes = soa.apply_packed_multi(op, planes)
+    unpacked = np.stack(
+        [
+            unpack_parity(PackedParityField(lat, out_planes[:, i]))
+            for i in range(k)
+        ]
+    )
+
+    with use_backend("numpy"):
+        want = op.apply_multi(vs)
+    err = np.linalg.norm(unpacked - want) / np.linalg.norm(want)
+    assert err <= 1e-12
+
+
+@settings(max_examples=15)
+@given(SEEDS, SEEDS)
+def test_packed_hop_sum_commutes_with_unpack(op_seed, vec_seed):
+    lat = Lattice((4, 4, 4, 4))
+    op = _wilson_for(lat, op_seed)
+    rng = np.random.default_rng(vec_seed)
+    v = rng.standard_normal((lat.volume, 4, 3)) + 1j * rng.standard_normal(
+        (lat.volume, 4, 3)
+    )
+    soa = get_backend("soa")
+    planes = pack_parity(lat, v).planes[:, None]  # (2, 1, V/2, 4, 3)
+    out = soa.hop_sum_packed_multi(op, planes)
+    unpacked = unpack_parity(PackedParityField(lat, out[:, 0]))
+    with use_backend("numpy"):
+        want = op.apply_hopping(v)
+    err = np.linalg.norm(unpacked - want) / np.linalg.norm(want)
+    assert err <= 1e-12
