@@ -10,7 +10,9 @@ Usage::
     python -m repro.cli fig4   [--mode replay|measured]
     python -m repro.cli all    [--mode replay]
     python -m repro.cli trace  [dataset] [--telemetry out.json] [--otlp out.otlp.json]
-                               [--convergence]
+                               [--perfetto out.perfetto.json] [--convergence]
+                               [--critical-path] [--partition 1x1x2x2]
+    python -m repro.cli trace  diff A B [--tolerance T] [--top N] [--warn-only]
     python -m repro.cli serve-bench [dataset] [--batch-sizes 1,4,8,16] [--requests N]
                                [--metrics-out FILE] [--blackbox-out DIR]
     python -m repro.cli fleet-bench [dataset] [--shards 1,2,4,8] [--skew both]
@@ -22,6 +24,7 @@ Usage::
                                [--invariants a,b,...] [--max-needs TIER]
     python -m repro.cli bench  run [--suite quick|full] | list
     python -m repro.cli perf   diff A B [--tolerance T] [--warn-only]
+    python -m repro.cli perf   trend [HISTORY] [--window N] [--warn-only]
 
 ``bench``/``perf`` route to the performance-observability layer
 (:mod:`repro.perf.cli`): ``bench run`` executes a curated measurement
@@ -58,9 +61,18 @@ survival ratio are reported as a ``repro.fleet/v1`` document.
 full telemetry enabled and exports the JSON trace document (nested
 spans for setup/smoother/restrict/prolong/coarse-solve plus per-level
 metrics).  ``--otlp FILE`` additionally exports the same span tree in
-OTLP-JSON shape for standard tracing backends; ``--convergence``
+OTLP-JSON shape for standard tracing backends; ``--perfetto FILE``
+exports a Chrome/Perfetto trace-event timeline (track per shard,
+thread per level, convergence events as instants); ``--convergence``
 renders the per-level convergence-history tables extracted from the
-iteration event streams.  Measured-mode artifacts accept
+iteration event streams; ``--critical-path`` prints the longest
+self-time-weighted span chain and the halo overlap-headroom report;
+``--partition AxBxCxD`` runs the outer solve through the simulated
+halo exchange so those reports have comm spans to classify.
+``trace diff A B`` aligns two trace documents node-by-node (per-level
+span self-times and flops/bytes, with a noise band) and exits nonzero
+on regression — the span-granular complement of ``perf diff``.
+Measured-mode artifacts accept
 ``--telemetry FILE`` to export the trace of their solves; with
 ``--out DIR`` the trace is persisted to ``DIR/trace.json``
 automatically instead of being discarded after rendering.
@@ -109,7 +121,12 @@ def resolve_dataset(name: str):
         raise SystemExit(2)
 
 
-def run_trace(dataset: str, verbose: bool = True, mrhs: int = 1) -> dict:
+def run_trace(
+    dataset: str,
+    verbose: bool = True,
+    mrhs: int = 1,
+    partition: str | None = None,
+) -> dict:
     """Run one measured MG solve on ``dataset`` with telemetry enabled.
 
     With ``mrhs > 1`` the solve is the *batched* full-hierarchy
@@ -118,6 +135,14 @@ def run_trace(dataset: str, verbose: bool = True, mrhs: int = 1) -> dict:
     level's arithmetic intensity with the operator matrices amortized
     over the batch — the coarse levels move toward (and up) the
     bandwidth ceiling relative to the single-RHS trace.
+
+    With ``partition`` (a process grid like ``"1x1x2x2"``) the fine
+    operator of the outer GCR is wrapped in a
+    :class:`~repro.comm.PartitionedOperator`, so every fine matvec runs
+    through the simulated halo exchange and the trace carries
+    ``comm.partitioned_apply`` / ``halo.exchange`` spans — the input the
+    overlap-headroom report (:mod:`repro.obs.forensics.overlap`) is
+    computed from.
 
     Returns the trace document (schema ``repro.telemetry/v1``), already
     performance-attributed: every cost-carrying span has ``gflops``,
@@ -138,7 +163,43 @@ def run_trace(dataset: str, verbose: bool = True, mrhs: int = 1) -> dict:
     try:
         op = WilsonCloverOperator(ds.gauge(), **ds.operator_kwargs())
         mg = MultigridSolver(op, mg_params_for(ds, "24/24"), np.random.default_rng(1))
-        if mrhs > 1:
+        if partition is not None:
+            from .comm import PartitionedOperator
+            from .lattice import Partition
+            from .solvers.base import OperatorCounter
+            from .solvers.gcr import gcr
+
+            grid = tuple(int(x) for x in partition.lower().split("x"))
+            pop = PartitionedOperator(op, Partition(ds.lattice(), grid))
+            fine = mg.hierarchy.levels[0]
+            b = SpinorField.random(ds.lattice(), rng=np.random.default_rng(0))
+            # mirror MultigridSolver.solve with the halo-exchanged fine
+            # operator driving the outer GCR (the K-cycle still runs on
+            # the single-domain hierarchy: the decomposition is a pure
+            # data-movement rewrite, so iterations are unchanged)
+            with telemetry.span(
+                "mg.solve",
+                subspace=mg.params.subspace_label(),
+                level=0,
+                partition=partition,
+            ):
+                res = gcr(
+                    OperatorCounter(pop, stats=fine.stats),
+                    b.data,
+                    tol=ds.target_residuum,
+                    maxiter=mg.params.outer_maxiter,
+                    nkrylov=mg.params.outer_nkrylov,
+                    preconditioner=mg.preconditioner,
+                )
+            meta = {
+                "kind": "trace-partitioned",
+                "dataset": ds.label,
+                "paper_dataset": ds.paper_label,
+                "partition": partition,
+                "converged": bool(res.converged),
+                "iterations": int(res.iterations),
+            }
+        elif mrhs > 1:
             from .mg.multi_rhs import batched_mg_solve
 
             rng = np.random.default_rng(0)
@@ -241,6 +302,10 @@ def main(argv: list[str] | None = None) -> int:
         from .perf.cli import perf_main
 
         return perf_main(argv)
+    if argv[:2] == ["trace", "diff"]:
+        from .obs.forensics.tracediff import trace_diff_main
+
+        return trace_diff_main(argv[2:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -350,6 +415,27 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="FILE",
         help="also export the 'trace' span tree as OTLP JSON to FILE",
+    )
+    parser.add_argument(
+        "--perfetto",
+        default=None,
+        metavar="FILE",
+        help="also export the 'trace' span tree as a Chrome/Perfetto "
+        "trace-event file (opens in ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="print the critical-path and overlap-headroom reports for "
+        "the 'trace' span tree",
+    )
+    parser.add_argument(
+        "--partition",
+        default=None,
+        metavar="GRID",
+        help="trace: run the outer solve through a PartitionedOperator "
+        "over this process grid (e.g. 1x1x2x2), producing halo-exchange "
+        "spans for the overlap report",
     )
     parser.add_argument(
         "--convergence",
@@ -465,12 +551,24 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.artifact == "trace":
-        doc = run_trace(args.dataset, mrhs=args.mrhs)
+        doc = run_trace(args.dataset, mrhs=args.mrhs, partition=args.partition)
         if args.convergence:
             from .obs.convergence import convergence_report
 
             print()
             print(convergence_report(doc["spans"]))
+        if args.critical_path or args.partition is not None:
+            from .obs.forensics import (
+                critical_path,
+                overlap_report,
+                render_critical_path,
+                render_overlap,
+            )
+
+            print()
+            print(render_critical_path(critical_path(doc["spans"])))
+            print()
+            print(render_overlap(overlap_report(doc["spans"])))
         path = args.telemetry
         if path is None:
             out_dir = pathlib.Path(args.out) if args.out else pathlib.Path(".")
@@ -486,6 +584,11 @@ def main(argv: list[str] | None = None) -> int:
 
             write_otlp(args.otlp, doc)
             print(f"OTLP trace written to {args.otlp}")
+        if args.perfetto is not None:
+            from .obs.forensics import write_perfetto
+
+            write_perfetto(args.perfetto, doc)
+            print(f"Perfetto trace written to {args.perfetto}")
         return 0
 
     # Measured-mode solve traces used to be discarded after rendering;

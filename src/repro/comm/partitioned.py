@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..lattice import NDIM, Partition
+from ..telemetry.tracer import get_tracer
 from .communicator import SimulatedComm
 from .halo import HaloExchange
 
@@ -50,14 +51,26 @@ class PartitionedOperator:
 
     # ------------------------------------------------------------------
     def apply(self, v: np.ndarray) -> np.ndarray:
-        """``M v`` with all cross-rank data flowing through halo exchange."""
-        locals_ = self.split(v)
-        out = self.op.apply_diag(v)  # site-local: no communication
-        for mu in range(NDIM):
-            for sign in (+1, -1):
-                gathered_locals = self.halo.gather_neighbors(locals_, mu, sign)
-                gathered = self.join(gathered_locals)
-                out += self.op.apply_hop_gathered(mu, sign, gathered)
+        """``M v`` with all cross-rank data flowing through halo exchange.
+
+        The enclosing ``comm.partitioned_apply`` span makes the
+        interior compute measurable as the parent's *self* time next to
+        its ``halo.exchange`` children — the exact split the
+        overlap-headroom report (:mod:`repro.obs.forensics.overlap`)
+        classifies hideable vs exposed exchange time from.
+        """
+        with get_tracer().span(
+            "comm.partitioned_apply", ranks=self.partition.num_ranks
+        ) as sp:
+            locals_ = self.split(v)
+            out = self.op.apply_diag(v)  # site-local: no communication
+            for mu in range(NDIM):
+                for sign in (+1, -1):
+                    gathered_locals = self.halo.gather_neighbors(locals_, mu, sign)
+                    gathered = self.join(gathered_locals)
+                    out += self.op.apply_hop_gathered(mu, sign, gathered)
+            flops, nbytes = self.op.application_cost()
+            sp.attribute(flops=flops, bytes=nbytes)
         return out
 
     matvec = apply

@@ -18,6 +18,7 @@ a new adaptive setup.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 
 import numpy as np
@@ -39,7 +40,13 @@ class FleetShard:
         speed_factor: float | None = None,
     ):
         self.node = node
-        self.config = config if config is not None else ServeConfig()
+        config = config if config is not None else ServeConfig()
+        if config.label is None:
+            # shared fleet configs are copied, not mutated: each shard's
+            # serve.batch spans must carry its own node id so stitched
+            # Perfetto timelines get one track per shard
+            config = dataclasses.replace(config, label=node.id)
+        self.config = config
         self.cache = cache if cache is not None else SetupCache()
         self.service = SolveService(self.config, cache=self.cache)
         # default: raw roofline ratio; callers that know the workload

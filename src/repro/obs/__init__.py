@@ -13,7 +13,11 @@ the substrate a production serve tier debugs itself with:
 * :mod:`~repro.obs.slo` — declarative SLO specs evaluated over sliding
   windows with burn-rate alerting into the structured log;
 * :mod:`~repro.obs.top` — the ``repro top`` live dashboard over
-  metrics-registry snapshots.
+  metrics-registry snapshots;
+* :mod:`~repro.obs.forensics` — performance forensics over exported
+  traces: critical-path extraction, the halo overlap-headroom report,
+  Perfetto timeline export, span-granular trace diffing and the bench
+  trajectory regression scan.
 
 Everything here consumes the trace context of
 :mod:`repro.telemetry.context`: one ``trace_id`` generated at serve
@@ -43,6 +47,20 @@ from .convergence import (
     record_convergence,
     subsample_history,
 )
+from .forensics import (
+    CriticalPathReport,
+    OverlapReport,
+    TraceDiff,
+    TrendReport,
+    critical_path,
+    diff_trace_documents,
+    overlap_report,
+    perfetto_document,
+    render_critical_path,
+    render_overlap,
+    scan_trajectory,
+    write_perfetto,
+)
 from .slo import (
     DEFAULT_SLOS,
     RequestOutcome,
@@ -56,26 +74,38 @@ from .top import Dashboard, run_top
 __all__ = [
     "BLACKBOX_SCHEMA",
     "ConvergenceVerdict",
+    "CriticalPathReport",
     "DEFAULT_DETECTOR",
     "DEFAULT_SLOS",
     "Dashboard",
     "DetectorConfig",
     "FlightRecorder",
+    "OverlapReport",
     "RequestOutcome",
     "SLOMonitor",
     "SLOSpec",
     "SLOStatus",
+    "TraceDiff",
+    "TrendReport",
     "blackbox_document",
     "collect_convergence_series",
     "convergence_report",
+    "critical_path",
     "detect_anomalies",
+    "diff_trace_documents",
     "get_recorder",
     "load_blackbox",
+    "overlap_report",
+    "perfetto_document",
     "record_convergence",
     "render_blackbox",
+    "render_critical_path",
+    "render_overlap",
     "render_slo_table",
     "run_top",
+    "scan_trajectory",
     "subsample_history",
     "validate_blackbox",
     "write_blackbox",
+    "write_perfetto",
 ]

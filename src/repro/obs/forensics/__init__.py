@@ -1,0 +1,72 @@
+"""Performance forensics over exported ``repro.telemetry/v1`` traces.
+
+The observability layers so far answer "where did time go per level"
+(:mod:`repro.perf.attribution`) and "what went wrong"
+(:mod:`repro.obs.blackbox`).  This package answers the sharper
+questions every later performance PR is judged by:
+
+* :mod:`~repro.obs.forensics.critical_path` — the longest weighted
+  root→leaf path through a span forest by *exclusive* self-time, with
+  per-span shares and the roofline attributes carried along, so the
+  one chain of spans that bounds wall-clock is named explicitly;
+* :mod:`~repro.obs.forensics.overlap` — the comm/compute overlap
+  headroom report: every ``halo.exchange`` span is classified
+  hideable / partially-hideable / exposed against the interior compute
+  of its enclosing apply (the arXiv:1011.0024 overlap model), the
+  yardstick the future async pipeline must be measured by;
+* :mod:`~repro.obs.forensics.perfetto` — Chrome/Perfetto trace-event
+  export (track per shard, thread per multigrid level, convergence
+  events as instants) so any trace — including stitched fleet runs —
+  opens in ui.perfetto.dev;
+* :mod:`~repro.obs.forensics.tracediff` — span-granular trace diffing
+  (align two traces by level/name, compare self-seconds and
+  flops/bytes with a noise band) behind ``repro trace diff A B``;
+* :mod:`~repro.obs.forensics.trend` — sequential regression scanning
+  over the ``BENCH_<suite>.history.json`` trajectory with median/MAD
+  robust z-scores, behind ``repro perf trend`` (warn-only in CI).
+"""
+
+from __future__ import annotations
+
+from .critical_path import (
+    CriticalPathNode,
+    CriticalPathReport,
+    critical_path,
+    render_critical_path,
+)
+from .overlap import (
+    COMM_SPAN_NAMES,
+    OverlapGroup,
+    OverlapReport,
+    overlap_report,
+    render_overlap,
+)
+from .perfetto import perfetto_document, write_perfetto
+from .tracediff import TraceDiff, TraceDiffRow, diff_trace_documents
+from .trend import (
+    TrendPointVerdict,
+    TrendReport,
+    load_trajectory,
+    scan_trajectory,
+)
+
+__all__ = [
+    "COMM_SPAN_NAMES",
+    "CriticalPathNode",
+    "CriticalPathReport",
+    "OverlapGroup",
+    "OverlapReport",
+    "TraceDiff",
+    "TraceDiffRow",
+    "TrendPointVerdict",
+    "TrendReport",
+    "critical_path",
+    "diff_trace_documents",
+    "load_trajectory",
+    "overlap_report",
+    "perfetto_document",
+    "render_critical_path",
+    "render_overlap",
+    "scan_trajectory",
+    "write_perfetto",
+]

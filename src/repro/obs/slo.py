@@ -294,7 +294,12 @@ def render_slo_table(statuses: Sequence[SLOStatus], title: str = "SLO compliance
         unit = "s" if spec.objective in _LATENCY_OBJECTIVES else ""
         measured = f"{s.measured:.3g}{unit}"
         threshold = f"{spec.threshold:.3g}{unit}"
-        verdict = "ok" if s.compliant else "BREACH"
+        if s.n == 0:
+            # an empty window is neither compliant nor breached — say so
+            # instead of printing a vacuous "ok" over zero requests
+            verdict = "no data"
+        else:
+            verdict = "ok" if s.compliant else "BREACH"
         lines.append(
             f"{spec.name:<22} {spec.objective:<26} {spec.window_s:>6.0f}s "
             f"{s.n:>6} {measured:>10} {threshold:>10} {s.burn_rate:>6.2f}  {verdict}"

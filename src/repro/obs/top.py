@@ -77,21 +77,34 @@ class Dashboard:
             f"in-flight {_gauge_value(snap, 'serve.in_flight'):>6g}    "
             f"rejected {_counter_total(snap, 'serve.rejected'):>6g}    "
             f"timeouts {_counter_total(snap, 'serve.timeouts'):>6g}",
-            f"latency p50 {latency['p50'] * 1e3:>8.1f} ms   "
-            f"p95 {latency['p95'] * 1e3:>8.1f} ms   "
-            f"p99 {latency['p99'] * 1e3:>8.1f} ms   (n={latency['count']})",
-            f"batch size mean {batch['mean']:>5.2f}   "
-            f"solve p50 {solve['p50'] * 1e3:>8.1f} ms   "
-            f"solves {solve['count']:>6}",
         ]
+        # a fresh service has an empty sliding window: render an explicit
+        # warming-up placeholder instead of a wall of misleading zeros
+        if latency["count"] == 0 and solve["count"] == 0:
+            lines.append(
+                "latency      (no completed requests yet — window warming up)"
+            )
+        else:
+            lines.append(
+                f"latency p50 {latency['p50'] * 1e3:>8.1f} ms   "
+                f"p95 {latency['p95'] * 1e3:>8.1f} ms   "
+                f"p99 {latency['p99'] * 1e3:>8.1f} ms   (n={latency['count']})"
+            )
+            lines.append(
+                f"batch size mean {batch['mean']:>5.2f}   "
+                f"solve p50 {solve['p50'] * 1e3:>8.1f} ms   "
+                f"solves {solve['count']:>6}"
+            )
         if self.service is not None:
             cache = self.service.cache.stats
             lookups = cache["hits"] + cache["disk_hits"] + cache["misses"]
-            hit_rate = (
-                (cache["hits"] + cache["disk_hits"]) / lookups if lookups else 0.0
-            )
+            if lookups:
+                hit = (cache["hits"] + cache["disk_hits"]) / lookups
+                hit_rate = f"{hit:>6.1%}"
+            else:
+                hit_rate = "     —"  # no lookups yet: a rate would lie
             lines.append(
-                f"setup cache hit rate {hit_rate:>6.1%}   "
+                f"setup cache hit rate {hit_rate}   "
                 f"(mem {cache['hits']}, disk {cache['disk_hits']}, "
                 f"miss {cache['misses']})   "
                 f"ops {len(self.service.operators())}"

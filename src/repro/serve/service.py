@@ -110,6 +110,11 @@ class ServeConfig:
     # SLOMonitor fed per finished request, with burn-rate alerts into
     # the structured log.
     slo_specs: tuple = ()
+    # Identity of this service on shared timelines: fleet shards set it
+    # to their node id, and every serve.batch span then carries a
+    # ``shard`` attribute — the Perfetto exporter's track key, so
+    # stitched cross-shard traces separate into one track per node.
+    label: str | None = None
 
     def __post_init__(self):
         from ..verify.runtime import validate_level
@@ -533,13 +538,17 @@ class SolveService:
                 trace_id=head.trace_id,
                 attrs={"request_id": head.id, "op": head.op_name},
             )
-            with activate(head_ctx), get_tracer().span(
-                "serve.batch",
+            batch_attrs = dict(
                 op=head.op_name,
                 size=len(live),
                 mode="batched" if batched else "sequential",
                 request_ids=[req.id for req in live],
                 trace_ids=[req.trace_id for req in live],
+            )
+            if self.config.label:
+                batch_attrs["shard"] = self.config.label
+            with activate(head_ctx), get_tracer().span(
+                "serve.batch", **batch_attrs
             ):
                 t0 = time.perf_counter()
                 c0 = time.thread_time()
@@ -688,6 +697,14 @@ class SolveService:
         must never take the service down, so disk errors are folded into
         the log stream instead of raised.
         """
+        meta = dict(meta or {})
+        # the per-op layout choice, next to the process-wide backend the
+        # document itself records — layout-specific stalls need both
+        entry = self._ops.get(meta.get("op")) if meta.get("op") else None
+        if entry is not None:
+            meta.setdefault("op_backend", entry.params.backend)
+        if self.config.label:
+            meta.setdefault("shard", self.config.label)
         doc = blackbox_document(reason, trace_id=trace_id, meta=meta)
         self.last_blackbox = doc
         with self._cond:

@@ -371,6 +371,27 @@ class TestFlightRecorder:
         with pytest.raises(ValueError):
             validate_blackbox({"schema": BLACKBOX_SCHEMA, "version": 99})
 
+    def test_dump_records_active_backend(self):
+        from repro.backend import active_backend_name, use_backend
+
+        doc = blackbox_document(
+            "failure",
+            recorder=FlightRecorder(capacity=4),
+            registry=MetricsRegistry(enabled=True),
+            tracer=Tracer(enabled=True),
+        )
+        assert doc["backend"] == active_backend_name()
+        validate_blackbox(doc)
+        assert f"backend: {doc['backend']}" in render_blackbox(doc)
+        with use_backend("einsum"):
+            doc = blackbox_document(
+                "failure",
+                recorder=FlightRecorder(capacity=4),
+                registry=MetricsRegistry(enabled=True),
+                tracer=Tracer(enabled=True),
+            )
+        assert doc["backend"] == "einsum"
+
 
 # ----------------------------------------------------------------------
 # SLO window math
@@ -445,6 +466,13 @@ class TestSLOWindowMath:
         assert "latency-p99" in text and "verdict" in text
         assert "ok" in text and "BREACH" not in text
 
+    def test_render_table_empty_window_says_no_data(self):
+        mon = SLOMonitor(DEFAULT_SLOS, alert=lambda *a, **k: None)
+        text = render_slo_table(mon.evaluate(now=100.0))
+        assert "no data" in text
+        assert "ok" not in text.splitlines()[-1]
+        assert "BREACH" not in text
+
 
 # ----------------------------------------------------------------------
 # slog ISO timestamps + trace attachment
@@ -496,3 +524,25 @@ class TestDashboard:
         reg.counter("serve.completed", op="w").inc(5)
         second = dash.frame(now=101.0)
         assert "5.00 req/s" in second  # delta over one second
+
+    def test_frame_on_empty_window_renders_placeholder(self):
+        reg = MetricsRegistry(enabled=True)  # no completions observed yet
+        frame = Dashboard(registry=reg).frame(now=100.0)
+        assert "window warming up" in frame
+        assert "p95" not in frame  # zero quantiles would mislead
+
+    def test_cache_hit_rate_dash_before_first_lookup(self):
+        class _Cache:
+            stats = {"hits": 0, "disk_hits": 0, "misses": 0}
+
+        class _Service:
+            cache = _Cache()
+            slo_monitor = None
+
+            def operators(self):
+                return []
+
+        reg = MetricsRegistry(enabled=True)
+        frame = Dashboard(registry=reg, service=_Service()).frame(now=100.0)
+        assert "setup cache hit rate      —" in frame
+        assert "0.0%" not in frame

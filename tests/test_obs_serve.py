@@ -138,6 +138,125 @@ class TestTracePropagation:
         assert res.telemetry.attrs["trace_id"] == tid
 
 
+class TestForensicsServe:
+    def test_ragged_batches_preserve_per_request_traces(
+        self, op, params, cache, lattice
+    ):
+        # 7 submissions against max_batch=4 coalesce into a full batch
+        # and a ragged remainder (4+3); every request keeps its own
+        # trace_id and every serve.batch span names all of its riders
+        rng = np.random.default_rng(21)
+        shape = (7, lattice.volume, 4, 3)
+        rhs = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        telemetry.enable()
+        telemetry.reset()
+        try:
+            with make_service(
+                op, params, cache, max_batch=4, max_wait_s=0.2
+            ) as svc:
+                futures = [svc.submit("wc", b) for b in rhs]
+                results = [f.result(timeout=60) for f in futures]
+            doc = telemetry.trace_document()
+        finally:
+            telemetry.disable()
+
+        trace_ids = {r.telemetry.attrs["trace_id"] for r in results}
+        assert len(trace_ids) == 7
+        batches = [s for s in doc["spans"] if s["name"] == "serve.batch"]
+        sizes = sorted(s["attrs"]["size"] for s in batches)
+        assert sum(sizes) == 7
+        assert max(sizes) <= 4 and len(sizes) >= 2  # ragged, not one batch
+        riders = {t for s in batches for t in s["attrs"]["trace_ids"]}
+        assert riders == trace_ids
+        for r in results:
+            # batch heads carry their own trace as the batch trace;
+            # riders get an explicit batch_trace_id link
+            attrs = r.telemetry.attrs
+            batch_tid = attrs.get("batch_trace_id", attrs["trace_id"])
+            assert batch_tid in trace_ids
+
+    def test_serve_batch_span_carries_shard_label(
+        self, op, params, cache, sources
+    ):
+        from repro.obs.forensics import perfetto_document
+
+        telemetry.enable()
+        telemetry.reset()
+        try:
+            with make_service(
+                op, params, cache, max_batch=1, label="node-x"
+            ) as svc:
+                svc.solve("wc", sources[0])
+            doc = telemetry.trace_document()
+        finally:
+            telemetry.disable()
+
+        batch = next(s for s in doc["spans"] if s["name"] == "serve.batch")
+        assert batch["attrs"]["shard"] == "node-x"
+        # the label becomes the Perfetto process track
+        p = perfetto_document(doc)
+        names = {
+            e["args"]["name"]
+            for e in p["traceEvents"]
+            if e.get("name") == "process_name"
+        }
+        assert "shard node-x" in names
+
+    def test_otlp_export_carries_iteration_events(
+        self, op, params, cache, sources
+    ):
+        from repro.telemetry import otlp_document
+
+        telemetry.enable()
+        telemetry.reset()
+        try:
+            with make_service(op, params, cache, max_batch=1) as svc:
+                svc.solve("wc", sources[0])
+            doc = telemetry.trace_document()
+        finally:
+            telemetry.disable()
+
+        otlp = otlp_document(doc)
+        spans = otlp["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        events = [e for s in spans for e in s.get("events", [])]
+        iteration = [e for e in events if e["name"] == "iteration"]
+        assert iteration  # per-iteration residual stream survives export
+        keys = {a["key"] for a in iteration[0]["attributes"]}
+        assert {"severity", "residual"} <= keys
+        assert all(int(e["timeUnixNano"]) > 0 for e in iteration)
+
+    def test_perfetto_round_trip_from_service_trace(
+        self, op, params, cache, sources, tmp_path
+    ):
+        import json
+
+        from repro.obs.forensics import write_perfetto
+
+        telemetry.enable()
+        telemetry.reset()
+        try:
+            with make_service(op, params, cache, max_batch=4) as svc:
+                svc.solve("wc", sources[0])
+            doc = telemetry.trace_document()
+        finally:
+            telemetry.disable()
+
+        out = write_perfetto(tmp_path / "solve.perfetto.json", doc)
+        loaded = json.loads(out.read_text())  # must be valid JSON
+        timed = [e for e in loaded["traceEvents"] if e["ph"] in ("X", "i")]
+        assert timed
+        ts = [e["ts"] for e in timed]
+        assert ts == sorted(ts)  # monotone timeline
+        # nesting preserved: serve.batch encloses the solve it dispatched
+        x = [e for e in timed if e["ph"] == "X"]
+        batch = next(e for e in x if e["name"] == "serve.batch")
+        solves = [e for e in x if e["name"].startswith("mg.")]
+        assert solves
+        for s in solves:
+            assert batch["ts"] <= s["ts"]
+            assert s["ts"] + s["dur"] <= batch["ts"] + batch["dur"]
+
+
 class TestBlackboxDumps:
     def test_timeout_produces_matching_dump(
         self, op, params, cache, sources, tmp_path
